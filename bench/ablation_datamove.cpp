@@ -1,0 +1,33 @@
+// Ablation (SSIII-B): "large vector of data is moved with DMA while a
+// single data is moved with CPU". Sweeps transfer sizes and reports the
+// cycle/energy cost of each method plus the crossover ACE's dataflow
+// planner uses.
+
+#include <iostream>
+
+#include "core/ace/compiled_model.h"
+#include "device/device.h"
+#include "util/table.h"
+
+int main() {
+  using namespace ehdnn;
+  std::cout << "Ablation - DMA vs CPU data movement (FRAM -> SRAM)\n";
+
+  Table t({"Words", "CPU cycles", "CPU energy (nJ)", "DMA cycles", "DMA energy (nJ)",
+           "Planner picks"});
+  for (std::size_t words : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    dev::Device cpu_dev, dma_dev;
+    for (std::size_t i = 0; i < words; ++i) {
+      cpu_dev.cpu_ops(2);
+      cpu_dev.write(dev::MemKind::kSram, i, cpu_dev.read(dev::MemKind::kFram, i));
+    }
+    dma_dev.dma_copy(dev::MemKind::kFram, 0, dev::MemKind::kSram, 0, words);
+    t.add_row({std::to_string(words), Table::num(cpu_dev.trace().total_cycles(), 0),
+               Table::num(cpu_dev.trace().total_energy() * 1e9, 2),
+               Table::num(dma_dev.trace().total_cycles(), 0),
+               Table::num(dma_dev.trace().total_energy() * 1e9, 2),
+               ace::use_dma(dev::CostModel{}, words) ? "DMA" : "CPU"});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation (SSIII-B "Overflow-aware Computation", Algorithm 1): runs the
+// same quantized BCM layer three ways —
+//   * overflow-unaware (no scaling: FFT butterflies saturate),
+//   * the paper's Algorithm 1 (fixed per-stage scaling = SCALE-DOWN/UP),
+//   * block floating point (this library's default),
+// and reports saturation counts plus output error vs the float model.
+// The fixed-scale error growing with k is why the paper observes accuracy
+// degradation at larger block sizes (SSIV-A.4).
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "nn/bcm_dense.h"
+#include "quant/qexec.h"
+
+int main() {
+  using namespace ehdnn;
+  std::cout << "Ablation - overflow handling in the BCM FC path\n";
+
+  Table t({"Block size", "Mode", "Saturations", "Mean |error| vs float", "Max |error|"});
+  for (std::size_t k : {32u, 64u, 128u, 256u}) {
+    Rng rng(99 + k);
+    nn::Model m;
+    m.add<nn::BcmDense>(2 * k, k, k)->init(rng);
+    std::vector<nn::Tensor> calib;
+    for (int i = 0; i < 4; ++i) {
+      nn::Tensor t2({2 * k});
+      for (std::size_t j = 0; j < 2 * k; ++j) {
+        t2[j] = static_cast<float>(rng.uniform(-0.9, 0.9));
+      }
+      calib.push_back(std::move(t2));
+    }
+    const auto qm = quant::quantize(m, calib, {2 * k});
+
+    struct Mode {
+      const char* name;
+      dsp::FftScaling scaling;
+      bool aware;
+    };
+    const Mode modes[] = {
+        {"unaware (no scaling)", dsp::FftScaling::kNone, false},
+        {"Algorithm 1 (fixed scale)", dsp::FftScaling::kFixedScale, true},
+        {"block floating point", dsp::FftScaling::kBlockFloat, true},
+    };
+    for (const auto& mode : modes) {
+      fx::SatStats sat;
+      double sum_err = 0.0, max_err = 0.0;
+      std::size_t n = 0;
+      for (int trial = 0; trial < 6; ++trial) {
+        nn::Tensor x({2 * k});
+        for (std::size_t j = 0; j < 2 * k; ++j) {
+          x[j] = static_cast<float>(rng.uniform(-0.9, 0.9));
+        }
+        const nn::Tensor fy = m.forward(x);
+        quant::QExecOptions o;
+        o.fft_scaling = mode.scaling;
+        o.overflow_aware = mode.aware;
+        o.stats = &sat;
+        const auto qy = quant::qpredict(qm, x, o);
+        for (std::size_t i = 0; i < fy.size(); ++i) {
+          const double e = std::abs(static_cast<double>(qy[i]) - fy[i]);
+          sum_err += e;
+          max_err = std::max(max_err, e);
+          ++n;
+        }
+      }
+      t.add_row({std::to_string(k), mode.name, std::to_string(sat.saturations),
+                 Table::num(sum_err / static_cast<double>(n), 5), Table::num(max_err, 4)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

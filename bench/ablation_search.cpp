@@ -1,0 +1,38 @@
+// Ablation (SSIII-A "architecture search"): RAD's resource-gated search.
+// Every candidate is first checked against the board's hard constraints
+// (FRAM footprint, SRAM plan, modelled latency) using the device model;
+// only feasible candidates are quick-trained and ranked by accuracy.
+
+#include "bench_common.h"
+#include "core/rad/search.h"
+#include "data/dataset.h"
+
+int main() {
+  using namespace ehdnn;
+  std::cout << "RAD architecture search (resource gates before accuracy)\n";
+
+  Rng rng(404);
+  auto data = data::make_mnist_like(rng, 350, 120);
+  rad::SearchConfig cfg;
+  cfg.quick_epochs = 2;
+  cfg.max_latency_s = 0.25;
+  const auto res = rad::search(data, cfg, rng);
+
+  Table t({"conv1", "fc width", "BCM k", "FRAM KiB", "SRAM words", "Latency",
+           "Feasible", "Quick acc", "Picked"});
+  for (const auto& sc : res.scored) {
+    const bool picked = sc.cand.conv1_filters == res.best.conv1_filters &&
+                        sc.cand.fc_width == res.best.fc_width &&
+                        sc.cand.bcm_block == res.best.bcm_block;
+    t.add_row({std::to_string(sc.cand.conv1_filters), std::to_string(sc.cand.fc_width),
+               std::to_string(sc.cand.bcm_block),
+               std::to_string(sc.resources.fram_bytes / 1024),
+               std::to_string(sc.resources.sram_words),
+               sc.resources.fits() ? bench::ms(sc.resources.latency_s) : "-",
+               sc.feasible ? "yes" : "no",
+               sc.quick_accuracy >= 0 ? Table::pct(sc.quick_accuracy, 1) : "-",
+               picked ? "<== best" : ""});
+  }
+  t.print(std::cout);
+  return 0;
+}

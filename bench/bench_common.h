@@ -1,0 +1,129 @@
+// Shared plumbing for the paper-reproduction benches: model construction,
+// framework dispatch, power scenarios, and the paper's reported numbers
+// (EXPERIMENTS.md records measured-vs-paper for each).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/ace/compiled_model.h"
+#include "core/flex/runtime.h"
+#include "models/zoo.h"
+#include "nn/conv.h"
+#include "power/capacitor.h"
+#include "power/continuous.h"
+#include "power/monitor.h"
+#include "quant/quantize.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace ehdnn::bench {
+
+enum class Framework { kBase, kSonic, kTails, kAceFlex, kAcePlain };
+
+inline const char* framework_name(Framework f) {
+  switch (f) {
+    case Framework::kBase: return "BASE";
+    case Framework::kSonic: return "SONIC";
+    case Framework::kTails: return "TAILS";
+    case Framework::kAceFlex: return "ACE+FLEX";
+    case Framework::kAcePlain: return "ACE";
+  }
+  return "?";
+}
+
+// Timing and energy are data-independent (fixed loop bounds), so the
+// benches run randomly initialized models; accuracy is Table II's job.
+inline quant::QuantModel make_qmodel(models::Task task, bool compressed, Rng& rng) {
+  models::ModelInfo info = models::model_info(task);
+  nn::Model m = compressed ? models::make_model(task, rng) : models::make_dense_model(task, rng);
+  if (compressed && info.pruned_conv_layer >= 0) {
+    auto* conv =
+        dynamic_cast<nn::Conv2D*>(&m.layer(static_cast<std::size_t>(info.pruned_conv_layer)));
+    if (conv != nullptr) {
+      std::vector<bool> mask(conv->kernel_h() * conv->kernel_w(), false);
+      for (std::size_t i = 0; i < info.prune_keep_positions; ++i) mask[i] = true;
+      conv->set_shape_mask(mask);
+    }
+  }
+  std::vector<nn::Tensor> calib;
+  for (int i = 0; i < 4; ++i) {
+    nn::Tensor t(info.input_shape);
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      t[j] = static_cast<float>(rng.uniform(-0.9, 0.9));
+    }
+    calib.push_back(std::move(t));
+  }
+  quant::QuantizeOptions qo;
+  qo.model_name = models::task_name(task);
+  return quant::quantize(m, calib, info.input_shape, qo);
+}
+
+// The uncompressed HAR/OKG models exceed the real board's 256 KB FRAM
+// (itself a headline result — see EXPERIMENTS.md); baselines execute on a
+// virtually enlarged FRAM so their time/energy remain measurable.
+inline dev::DeviceConfig device_for(bool compressed) {
+  dev::DeviceConfig cfg;
+  if (!compressed) cfg.fram_words = 8 * 1024 * 1024;
+  return cfg;
+}
+
+// Intermittent-power scenario. The paper's testbed pairs a 100 uF buffer
+// with multi-second inferences, i.e. one burst covers a tiny fraction of
+// an inference. Our modelled inferences are absolutely faster (tens of
+// ms), so the default capacitor is scaled down to 10 uF to preserve that
+// regime — burst energy (~30 uJ) a small fraction of inference energy
+// (0.2-13 mJ) — which is what makes BASE/ACE unable to finish and
+// exercises the checkpointing strategies exactly as in Fig. 7(b).
+struct PowerSpec {
+  bool continuous = true;
+  double capacitance_f = 10e-6;
+  double harvest_w = 1.2e-3;  // below the ~5 mW active draw: net-drain
+};
+
+inline std::unique_ptr<flex::InferenceRuntime> make_runtime(Framework f) {
+  switch (f) {
+    case Framework::kSonic: return flex::make_sonic_runtime();
+    case Framework::kTails: return flex::make_tails_runtime();
+    case Framework::kAceFlex: return flex::make_flex_runtime();
+    case Framework::kBase:
+    case Framework::kAcePlain: return flex::make_ace_runtime();
+  }
+  return nullptr;
+}
+
+// Runs one inference of `task` under `fw`; BASE/SONIC/TAILS use the dense
+// model, ACE/ACE+FLEX the RAD-compressed one.
+inline flex::RunStats run_framework(Framework fw, models::Task task, const PowerSpec& ps,
+                                    long max_reboots = 3000) {
+  const bool compressed = fw == Framework::kAceFlex || fw == Framework::kAcePlain;
+  Rng rng(0xb0a710ad + static_cast<std::uint64_t>(task));
+  const auto qm = make_qmodel(task, compressed, rng);
+
+  dev::Device dev(device_for(compressed));
+  power::ContinuousPower cont;
+  power::ConstantSource src(ps.harvest_w);
+  power::CapacitorConfig ccfg;
+  ccfg.capacitance_f = ps.capacitance_f;
+  power::CapacitorSupply cap(src, ccfg);
+  dev.attach_supply(ps.continuous ? static_cast<dev::PowerSupply*>(&cont) : &cap);
+
+  const auto cm = ace::compile(qm, dev);
+  std::vector<fx::q15_t> input(qm.layers.front().in_size());
+  for (auto& v : input) v = static_cast<fx::q15_t>(rng.next_u64());
+
+  flex::RunOptions opts;
+  opts.max_reboots = max_reboots;
+  if (!ps.continuous) {
+    opts.flex_v_warn = power::warn_voltage_for(
+        ccfg, flex::worst_checkpoint_energy(cm, dev.cost()) + 5e-6, 3.0);
+  }
+  auto rt = make_runtime(fw);
+  return rt->infer(dev, cm, input, opts);
+}
+
+inline std::string ms(double seconds) { return Table::num(seconds * 1e3, 2) + " ms"; }
+inline std::string mj(double joules) { return Table::num(joules * 1e3, 3) + " mJ"; }
+
+}  // namespace ehdnn::bench

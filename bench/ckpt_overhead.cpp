@@ -1,0 +1,33 @@
+// SSIV-A.5: checkpointing overhead. The paper reports every
+// checkpoint/restore costs at most 0.033 mJ (worst case: power failure
+// during the FFT-based BCM FC), and total overhead of 1% / 1.25% / 0.8%
+// for MNIST / HAR / OKG.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ehdnn;
+  using namespace ehdnn::bench;
+  std::cout << "Checkpointing overhead of ACE+FLEX (intermittent power)\n";
+
+  const models::Task tasks[] = {models::Task::kMnist, models::Task::kHar, models::Task::kOkg};
+  const double paper_pct[] = {1.0, 1.25, 0.8};
+
+  Table t({"Task", "Checkpoints", "Ckpt energy", "Per-ckpt (worst-case bound)",
+           "Total overhead", "Paper", "<= 0.033 mJ each?"});
+  for (int ti = 0; ti < 3; ++ti) {
+    PowerSpec ps;
+    ps.continuous = false;
+    const auto st = run_framework(Framework::kAceFlex, tasks[ti], ps, 100000);
+    const double per = st.checkpoints > 0
+                           ? st.checkpoint_energy_j / static_cast<double>(st.checkpoints)
+                           : 0.0;
+    const double pct = 100.0 * st.checkpoint_energy_j / st.energy_j;
+    t.add_row({models::task_name(tasks[ti]), std::to_string(st.checkpoints),
+               Table::num(st.checkpoint_energy_j * 1e6, 2) + " uJ",
+               Table::num(per * 1e6, 3) + " uJ", Table::num(pct, 2) + "%",
+               Table::num(paper_pct[ti], 2) + "%", per <= 33e-6 ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 7(a): inference time under continuous power for BASE / SONIC /
+// TAILS (dense models) and ACE+FLEX (RAD-compressed model). The paper's
+// speedups of ACE+FLEX: 3/5.4/1.7x vs BASE, 4/5.7/3.3x vs SONIC,
+// 3.3/2.6/2.1x vs TAILS on MNIST/HAR/OKG.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ehdnn;
+  using namespace ehdnn::bench;
+  std::cout << "Fig. 7(a) - Inference time on continuous power\n";
+
+  const Framework fws[] = {Framework::kBase, Framework::kSonic, Framework::kTails,
+                           Framework::kAceFlex};
+  const models::Task tasks[] = {models::Task::kMnist, models::Task::kHar, models::Task::kOkg};
+  const double paper_speedup[3][3] = {// vs BASE, SONIC, TAILS per task
+                                      {3.0, 4.0, 3.3},
+                                      {5.4, 5.7, 2.6},
+                                      {1.7, 3.3, 2.1}};
+
+  Table t({"Task", "Framework", "Latency", "Energy", "ACE+FLEX speedup", "Paper"});
+  for (int ti = 0; ti < 3; ++ti) {
+    const auto task = tasks[ti];
+    double lat[4] = {};
+    double enj[4] = {};
+    for (int fi = 0; fi < 4; ++fi) {
+      PowerSpec ps;  // continuous
+      const auto st = run_framework(fws[fi], task, ps);
+      lat[fi] = st.on_seconds;
+      enj[fi] = st.energy_j;
+    }
+    for (int fi = 0; fi < 4; ++fi) {
+      std::string speed, paper;
+      if (fi < 3) {
+        speed = Table::num(lat[fi] / lat[3], 2) + "x";
+        paper = Table::num(paper_speedup[ti][fi], 1) + "x";
+      } else {
+        speed = "1.00x";
+        paper = "1x";
+      }
+      t.add_row({fi == 0 ? models::task_name(task) : "", framework_name(fws[fi]),
+                 ms(lat[fi]), mj(enj[fi]), speed, paper});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(BASE/SONIC/TAILS run the uncompressed models as in the paper; the\n"
+               " dense HAR/OKG weights exceed the real 256 KB FRAM and execute on a\n"
+               " virtually enlarged FRAM - see EXPERIMENTS.md.)\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 7(b): inference time under intermittent power (100 uF capacitor).
+// BASE and plain ACE have no intermittence support and never complete
+// (the paper's "X"); ACE+FLEX completes with a 1-2% latency increase over
+// continuous power, and is 5.1/4.7/3.3x faster than SONIC and
+// 3.8/2.4/1.7x faster than TAILS on MNIST/HAR/OKG.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ehdnn;
+  using namespace ehdnn::bench;
+  std::cout << "Fig. 7(b) - Inference time on intermittent power\n"
+               "(capacitor scaled to 10 uF to preserve the paper's burst-to-inference\n"
+               " energy ratio on our faster absolute latencies; see EXPERIMENTS.md)\n";
+
+  const Framework fws[] = {Framework::kBase, Framework::kAcePlain, Framework::kSonic,
+                           Framework::kTails, Framework::kAceFlex};
+  const models::Task tasks[] = {models::Task::kMnist, models::Task::kHar, models::Task::kOkg};
+  const double paper_speedup[3][2] = {{5.1, 3.8}, {4.7, 2.4}, {3.3, 1.7}};  // vs SONIC, TAILS
+
+  Table t({"Task", "Framework", "On-time", "Total (incl. recharge)", "Reboots",
+           "ACE+FLEX speedup", "Paper"});
+  for (int ti = 0; ti < 3; ++ti) {
+    const auto task = tasks[ti];
+    double on[5] = {};
+    bool done[5] = {};
+    long reboots[5] = {};
+    double total[5] = {};
+    for (int fi = 0; fi < 5; ++fi) {
+      PowerSpec ps;
+      ps.continuous = false;
+      // BASE/ACE livelock; cap their attempts so the bench terminates fast.
+      const long max_reboots = (fi <= 1) ? 200 : 100000;
+      const auto st = run_framework(fws[fi], task, ps, max_reboots);
+      on[fi] = st.on_seconds;
+      total[fi] = st.total_seconds();
+      done[fi] = st.completed;
+      reboots[fi] = st.reboots;
+    }
+    for (int fi = 0; fi < 5; ++fi) {
+      std::string speed = "-", paper = "-";
+      if (fws[fi] == Framework::kSonic) {
+        speed = Table::num(on[fi] / on[4], 2) + "x";
+        paper = Table::num(paper_speedup[ti][0], 1) + "x";
+      } else if (fws[fi] == Framework::kTails) {
+        speed = Table::num(on[fi] / on[4], 2) + "x";
+        paper = Table::num(paper_speedup[ti][1], 1) + "x";
+      } else if (fws[fi] == Framework::kAceFlex) {
+        speed = "1.00x";
+        paper = "1x";
+      }
+      t.add_row({fi == 0 ? models::task_name(task) : "", framework_name(fws[fi]),
+                 done[fi] ? ms(on[fi]) : "X (never completes)",
+                 done[fi] ? ms(total[fi]) : "-", std::to_string(reboots[fi]), speed, paper});
+    }
+    // The paper's 1-2% overhead claim: ACE+FLEX intermittent vs continuous.
+    PowerSpec cont;
+    const auto c = run_framework(Framework::kAceFlex, task, cont);
+    std::printf("%s: ACE+FLEX on-time overhead vs continuous: %+.2f%% (paper: 1-2%%)\n",
+                models::task_name(task), 100.0 * (on[4] - c.on_seconds) / c.on_seconds);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 7(c): energy consumption and per-rail breakdown under intermittent
+// power. Paper: ACE+FLEX saves 6.1/10.9/6.25x energy vs SONIC and
+// 4.31/5.26/3.05x vs TAILS on MNIST/HAR/OKG (LEA and DMA run in ultra-low
+// power modes, and FLEX avoids SONIC/TAILS' continuous FRAM commits).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ehdnn;
+  using namespace ehdnn::bench;
+  std::cout << "Fig. 7(c) - Energy breakdown on intermittent power\n";
+
+  const Framework fws[] = {Framework::kSonic, Framework::kTails, Framework::kAceFlex};
+  const models::Task tasks[] = {models::Task::kMnist, models::Task::kHar, models::Task::kOkg};
+  const double paper_saving[3][2] = {{6.1, 4.31}, {10.9, 5.26}, {6.25, 3.05}};
+
+  Table t({"Task", "Framework", "Energy", "cpu", "lea", "dma", "fram wr", "fram rd",
+           "ACE+FLEX saving", "Paper"});
+  for (int ti = 0; ti < 3; ++ti) {
+    const auto task = tasks[ti];
+    flex::RunStats st[3];
+    for (int fi = 0; fi < 3; ++fi) {
+      PowerSpec ps;
+      ps.continuous = false;
+      st[fi] = run_framework(fws[fi], task, ps, 100000);
+    }
+    for (int fi = 0; fi < 3; ++fi) {
+      auto rail = [&](dev::Rail r) {
+        return Table::num(st[fi].energy_by_rail[static_cast<std::size_t>(r)] * 1e3, 3);
+      };
+      std::string saving = "1.00x", paper = "1x";
+      if (fi < 2) {
+        saving = Table::num(st[fi].energy_j / st[2].energy_j, 2) + "x";
+        paper = Table::num(paper_saving[ti][fi], 2) + "x";
+      }
+      t.add_row({fi == 0 ? models::task_name(task) : "", framework_name(fws[fi]),
+                 mj(st[fi].energy_j), rail(dev::Rail::kCpu), rail(dev::Rail::kLea),
+                 rail(dev::Rail::kDma), rail(dev::Rail::kFramWrite), rail(dev::Rail::kFramRead),
+                 saving, paper});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(rail columns in mJ)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// google-benchmark micro suite: the host-side cost of the simulation
+// kernels (FFT, circulant mat-vec, device LEA ops). These measure the
+// simulator itself — useful when profiling bench turnaround — while the
+// *modelled* device costs appear in the fig7/fig8 benches.
+
+#include <benchmark/benchmark.h>
+
+#include "core/ace/compiled_model.h"
+#include "device/device.h"
+#include "dsp/circulant.h"
+#include "dsp/fft.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ehdnn;
+
+void BM_FftQ15(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  std::vector<fx::cq15> buf(n);
+  for (auto& c : buf) {
+    c = {fx::to_q15(rng.uniform(-0.5, 0.5)), fx::to_q15(rng.uniform(-0.5, 0.5))};
+  }
+  for (auto _ : state) {
+    auto copy = buf;
+    benchmark::DoNotOptimize(dsp::fft_q15(copy, dsp::FftScaling::kFixedScale));
+  }
+}
+BENCHMARK(BM_FftQ15)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CirculantMatvecQ15(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  std::vector<fx::q15_t> c(k), x(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    c[i] = fx::to_q15(rng.uniform(-0.1, 0.1));
+    x[i] = fx::to_q15(rng.uniform(-0.5, 0.5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat));
+  }
+}
+BENCHMARK(BM_CirculantMatvecQ15)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DeviceLeaMac(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dev::Device d;
+  Rng rng(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.sram().poke(i, fx::to_q15(rng.uniform(-0.2, 0.2)));
+    d.sram().poke(1024 + i, fx::to_q15(rng.uniform(-0.2, 0.2)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.lea_mac(0, 1024, n));
+  }
+}
+BENCHMARK(BM_DeviceLeaMac)->Arg(25)->Arg(78)->Arg(150);
+
+void BM_DeviceDmaCopy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dev::Device d;
+  for (auto _ : state) {
+    d.dma_copy(dev::MemKind::kFram, 0, dev::MemKind::kSram, 0, n);
+  }
+}
+BENCHMARK(BM_DeviceDmaCopy)->Arg(64)->Arg(512);
+
+void BM_CircConvRef(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  std::vector<double> c(k), x(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    c[i] = rng.uniform(-1, 1);
+    x[i] = rng.uniform(-1, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::circ_conv_ref(c, x));
+  }
+}
+BENCHMARK(BM_CircConvRef)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Fig. 3 walk-through: the on-device dataflow of a LeNet-5-style model.
+// Prints, per layer, what ACE plans: which circular activation buffer is
+// read/written, the SRAM staging involved, the execution engine
+// (LEA MAC / LEA FFT / CPU-direct), and the measured per-layer cost under
+// continuous power — making the paper's dataflow figure inspectable.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/ace/compiled_model.h"
+#include "core/ace/kernels.h"
+#include "models/zoo.h"
+#include "power/continuous.h"
+#include "quant/quantize.h"
+#include "util/table.h"
+
+int main() {
+  using namespace ehdnn;
+  Rng rng(3);
+  nn::Model lenet = models::make_lenet5(rng);
+
+  std::vector<nn::Tensor> calib;
+  for (int i = 0; i < 4; ++i) {
+    nn::Tensor t({1, 28, 28});
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      t[j] = static_cast<float>(rng.uniform(-0.9, 0.9));
+    }
+    calib.push_back(std::move(t));
+  }
+  const auto qm = quant::quantize(lenet, calib, {1, 28, 28});
+
+  dev::Device device;
+  power::ContinuousPower supply;
+  device.attach_supply(&supply);
+  const auto cm = ace::compile(qm, device);
+
+  std::printf("LeNet-5 dataflow (Fig. 3). FRAM: act A @%zu, act B @%zu (%zu words each), "
+              "weights %zu KiB. SRAM plan: %zu of %zu words.\n\n",
+              cm.act_a, cm.act_b, cm.act_words, qm.weight_bytes() / 1024,
+              cm.sram.total_words, device.sram().size_words());
+
+  // Run layer by layer, charging costs per layer.
+  std::vector<fx::q15_t> input(qm.layers.front().in_size());
+  for (auto& v : input) v = static_cast<fx::q15_t>(rng.next_u64());
+  for (std::size_t i = 0; i < input.size(); ++i) device.fram().poke(cm.act_a + i, input[i]);
+
+  Table t({"Layer", "Engine", "Reads", "Writes", "Units", "Cycles", "Energy (uJ)"});
+  for (std::size_t l = 0; l < qm.layers.size(); ++l) {
+    const auto& q = qm.layers[l];
+    const char* engine = "CPU direct (no SRAM staging)";
+    switch (q.kind) {
+      case quant::QKind::kConv2D:
+      case quant::QKind::kConv1D: engine = "LEA MAC (window gather, Fig. 4)"; break;
+      case quant::QKind::kBcmDense: engine = "LEA FFT->CMUL->IFFT (Alg. 1)"; break;
+      case quant::QKind::kDense: engine = "LEA MAC (chunked rows)"; break;
+      default: break;
+    }
+    const auto before = device.trace().snapshot();
+    ace::ExecCtx ctx{device, cm, l, cm.act_in(l), cm.act_out(l),
+                     dsp::FftScaling::kBlockFloat, nullptr};
+    ace::UnitHooks hooks;
+    ace::run_layer(ctx, 0, hooks);
+    const auto d = device.trace().delta(before);
+    t.add_row({std::string(quant::kind_name(q.kind)), engine,
+               cm.act_in(l) == cm.act_a ? "act A" : "act B",
+               cm.act_out(l) == cm.act_a ? "act A" : "act B",
+               std::to_string(ace::unit_count(q)), Table::num(d.cycles, 0),
+               Table::num(d.energy * 1e6, 2)});
+  }
+  t.print(std::cout);
+  std::printf("\nNote how the two activation buffers alternate (circular reuse, Fig. 5),\n"
+              "conv dominates the budget, and the BCM FC is comparatively free — the\n"
+              "paper's observation that \"FC layers run extremely fast\" under ACE.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// ACE compilation: placing a QuantModel onto the device (paper SSIII-B).
+//
+// FRAM layout (all non-volatile):
+//   [act A | act B | per-layer weights+biases | ctrl block | ckpt slots]
+// The two activation buffers implement circular-buffer convolution
+// (Fig. 5): every layer reads one and writes the other, then the pointers
+// swap — max(L_i) words each, regardless of network depth.
+//
+// SRAM layout (volatile scratch, planned per model):
+//   [input stage | kernel vec | window vec | row stage | fft W | fft X |
+//    acc32 | x block | w block]
+// Only what the largest layer needs is allocated; compile() fails loudly
+// if the plan exceeds the 8 KB SRAM, which is exactly the resource check
+// RAD's architecture search performs before accepting a candidate.
+#pragma once
+
+#include <vector>
+
+#include "device/device.h"
+#include "quant/qmodel.h"
+
+namespace ehdnn::ace {
+
+struct LayerImage {
+  dev::Addr w_base = 0;  // FRAM, weights (layout as in QLayer)
+  dev::Addr b_base = 0;  // FRAM, biases
+};
+
+// SRAM scratch plan (word addresses; a size of 0 means not needed).
+struct SramPlan {
+  dev::Addr input_stage = 0;   // staged input feature map (conv) / x vector
+  std::size_t input_stage_words = 0;
+  dev::Addr kern_vec = 0;      // gathered kernel (conv) / weight row chunk
+  std::size_t kern_vec_words = 0;
+  dev::Addr win_vec = 0;       // gathered window (conv)
+  std::size_t win_vec_words = 0;
+  dev::Addr row_stage = 0;     // output row staging before bulk DMA
+  std::size_t row_stage_words = 0;
+  dev::Addr fft_w = 0;         // interleaved complex W spectrum (2k words)
+  dev::Addr fft_x = 0;         // interleaved complex X spectrum (2k words)
+  std::size_t fft_words = 0;   // each
+  dev::Addr acc32 = 0;         // per-row block accumulator (2 words/elem)
+  std::size_t acc32_words = 0;
+  dev::Addr x_blk = 0;         // real x block (k)
+  dev::Addr w_blk = 0;         // real first-column block (k)
+  std::size_t blk_words = 0;
+
+  std::size_t total_words = 0;
+};
+
+struct CompiledModel {
+  quant::QuantModel model;  // metadata copy (weights also live in FRAM)
+  std::vector<LayerImage> images;
+
+  dev::Addr act_a = 0;
+  dev::Addr act_b = 0;
+  std::size_t act_words = 0;
+
+  dev::Addr ctrl_base = 0;        // intermittent-runtime control words
+  std::size_t ctrl_words = 0;
+  dev::Addr ckpt_base = 0;        // two checkpoint slots (FLEX)
+  std::size_t ckpt_slot_words = 0;
+  dev::Addr nv_acc_base = 0;      // two parity slots for non-volatile
+  std::size_t nv_acc_slot_words = 0;  // accumulators (SONIC/TAILS)
+
+  SramPlan sram;
+
+  // Activation buffer for layer l's input: A for even l, B for odd
+  // (the circular swap).
+  dev::Addr act_in(std::size_t layer) const { return layer % 2 == 0 ? act_a : act_b; }
+  dev::Addr act_out(std::size_t layer) const { return layer % 2 == 0 ? act_b : act_a; }
+
+  std::size_t fram_words_used = 0;
+};
+
+// Builds the layout and programs weights into FRAM (cost-free pokes —
+// flashing happens at deploy time, not inference time).
+CompiledModel compile(const quant::QuantModel& qm, dev::Device& dev);
+
+// Data-movement decision (SSIII-B "ACE selects the right kind of data
+// movement method"): DMA beats a CPU copy loop above a small size; the
+// threshold falls out of the cost model.
+bool use_dma(const dev::CostModel& cm, std::size_t words);
+
+// Copy helper honoring the decision (same-region or cross-region).
+void move_words(dev::Device& dev, dev::MemKind src_mem, dev::Addr src, dev::MemKind dst_mem,
+                dev::Addr dst, std::size_t words);
+
+}  // namespace ehdnn::ace

@@ -1,0 +1,472 @@
+#include "core/ace/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dsp/circulant.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ehdnn::ace {
+
+namespace {
+
+using dev::Addr;
+using dev::MemKind;
+using fx::q15_t;
+using quant::QKind;
+using quant::QLayer;
+
+constexpr std::size_t kCpuUnit = 64;  // element block for CPU-direct layers
+
+int acc_rshift(const QLayer& l) { return 15 + l.out_exp - l.w_exp - l.in_exp; }
+
+// Live kernel positions (r, s) honoring structured pruning.
+std::vector<std::pair<std::size_t, std::size_t>> live_positions(const QLayer& l) {
+  std::vector<std::pair<std::size_t, std::size_t>> pos;
+  for (std::size_t r = 0; r < l.kh; ++r) {
+    for (std::size_t s = 0; s < l.kw; ++s) {
+      if (l.shape_mask.empty() || l.shape_mask[r * l.kw + s]) pos.push_back({r, s});
+    }
+  }
+  return pos;
+}
+
+// ---------------------------------------------------------------- Conv2D
+
+void run_conv2d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
+  dev::Device& dv = ctx.dev;
+  const QLayer& q = ctx.q();
+  const SramPlan& sp = ctx.cm.sram;
+  const std::size_t ih = q.in_shape[1], iw = q.in_shape[2];
+  const std::size_t oh = q.out_shape[1], ow = q.out_shape[2];
+  const auto pos = live_positions(q);
+  const std::size_t gather = q.in_ch * pos.size();
+  const int rshift = acc_rshift(q);
+
+  // Stage the whole input feature map in SRAM (acceleration-aware
+  // dataflow: one bulk DMA instead of per-window FRAM traffic).
+  check(q.in_size() <= sp.input_stage_words, "conv2d: input stage overflow");
+  move_words(dv, MemKind::kFram, ctx.in_addr, MemKind::kSram, sp.input_stage, q.in_size());
+
+  std::size_t cur_f = static_cast<std::size_t>(-1);
+  q15_t bias_f = 0;
+  const std::size_t units = q.out_ch * oh;
+  for (std::size_t unit = start_unit; unit < units; ++unit) {
+    if (hooks.boundary) hooks.boundary(unit);
+    const std::size_t f = unit / oh;
+    const std::size_t i = unit % oh;
+
+    if (f != cur_f) {
+      // Gather filter f's live weights into a contiguous SRAM vector: one
+      // LEA MAC then covers the whole kernel (Fig. 4).
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < q.in_ch; ++c) {
+        for (const auto& [r, s] : pos) {
+          dv.cpu_ops(2);
+          const q15_t w = dv.read(MemKind::kFram,
+                                  ctx.img().w_base + ((f * q.in_ch + c) * q.kh + r) * q.kw + s);
+          dv.write(MemKind::kSram, sp.kern_vec + idx, w);
+          ++idx;
+        }
+      }
+      bias_f = q.bias.empty() ? q15_t{0} : dv.read(MemKind::kFram, ctx.img().b_base + f);
+      cur_f = f;
+    }
+
+    for (std::size_t j = 0; j < ow; ++j) {
+      // Window gather (SRAM -> SRAM), pruned positions skipped.
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < q.in_ch; ++c) {
+        for (const auto& [r, s] : pos) {
+          dv.cpu_ops(2);
+          const q15_t v =
+              dv.read(MemKind::kSram, sp.input_stage + (c * ih + i + r) * iw + j + s);
+          dv.write(MemKind::kSram, sp.win_vec + idx, v);
+          ++idx;
+        }
+      }
+      const std::int64_t acc = dv.lea_mac(sp.win_vec, sp.kern_vec, gather);
+      dv.cpu_ops(4);  // narrow + bias + store setup
+      q15_t v = fx::narrow_q30(acc, rshift, ctx.stats);
+      if (!q.bias.empty()) v = fx::add_sat(v, bias_f, ctx.stats);
+      dv.write(MemKind::kSram, sp.row_stage + j, v);
+    }
+
+    // Bulk-commit the finished output row.
+    move_words(dv, MemKind::kSram, sp.row_stage, MemKind::kFram,
+               ctx.out_addr + (f * oh + i) * ow, ow);
+    if (hooks.committed) hooks.committed(unit);
+  }
+}
+
+// ---------------------------------------------------------------- Conv1D
+
+void run_conv1d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
+  dev::Device& dv = ctx.dev;
+  const QLayer& q = ctx.q();
+  const SramPlan& sp = ctx.cm.sram;
+  const std::size_t il = q.in_shape[1];
+  const std::size_t ol = q.out_shape[1];
+  const std::size_t gather = q.in_ch * q.k;
+  const int rshift = acc_rshift(q);
+
+  check(q.in_size() <= sp.input_stage_words, "conv1d: input stage overflow");
+  move_words(dv, MemKind::kFram, ctx.in_addr, MemKind::kSram, sp.input_stage, q.in_size());
+
+  for (std::size_t f = start_unit; f < q.out_ch; ++f) {
+    if (hooks.boundary) hooks.boundary(f);
+    std::size_t idx = 0;
+    for (std::size_t c = 0; c < q.in_ch; ++c) {
+      for (std::size_t t = 0; t < q.k; ++t) {
+        dv.cpu_ops(2);
+        dv.write(MemKind::kSram, sp.kern_vec + idx,
+                 dv.read(MemKind::kFram, ctx.img().w_base + (f * q.in_ch + c) * q.k + t));
+        ++idx;
+      }
+    }
+    const q15_t bias_f = q.bias.empty() ? q15_t{0} : dv.read(MemKind::kFram, ctx.img().b_base + f);
+
+    for (std::size_t i = 0; i < ol; ++i) {
+      std::size_t widx = 0;
+      for (std::size_t c = 0; c < q.in_ch; ++c) {
+        for (std::size_t t = 0; t < q.k; ++t) {
+          dv.cpu_ops(2);
+          dv.write(MemKind::kSram, sp.win_vec + widx,
+                   dv.read(MemKind::kSram, sp.input_stage + c * il + i + t));
+          ++widx;
+        }
+      }
+      const std::int64_t acc = dv.lea_mac(sp.win_vec, sp.kern_vec, gather);
+      dv.cpu_ops(4);
+      q15_t v = fx::narrow_q30(acc, rshift, ctx.stats);
+      if (!q.bias.empty()) v = fx::add_sat(v, bias_f, ctx.stats);
+      dv.write(MemKind::kSram, sp.row_stage + i, v);
+    }
+    move_words(dv, MemKind::kSram, sp.row_stage, MemKind::kFram, ctx.out_addr + f * ol, ol);
+    if (hooks.committed) hooks.committed(f);
+  }
+}
+
+// ---------------------------------------------------------------- Dense
+
+void run_dense(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
+  dev::Device& dv = ctx.dev;
+  const QLayer& q = ctx.q();
+  const SramPlan& sp = ctx.cm.sram;
+  const std::size_t in = q.in_ch, out = q.out_ch;
+  const std::size_t chunks = div_ceil(in, quant::kDenseChunk);
+  const std::size_t nblocks = dense_neuron_blocks(q);
+  const int guard = quant::dense_guard_shift(in);
+  const int rshift = acc_rshift(q) - guard;
+
+  if (start_unit == 0) {
+    for (std::size_t o = 0; o < out; ++o) write_acc32(dv, MemKind::kSram, sp.acc32, o, 0);
+  }
+  // start_unit > 0 contract: caller restored acc32 such that neurons in
+  // blocks < (start_unit % nblocks) have chunks [0, start_unit/nblocks]
+  // folded and the rest have chunks [0, start_unit/nblocks) folded.
+
+  const std::size_t c0 = start_unit / nblocks;
+  for (std::size_t c = c0; c < chunks; ++c) {
+    const std::size_t base = c * quant::kDenseChunk;
+    const std::size_t len = std::min(quant::kDenseChunk, in - base);
+    move_words(dv, MemKind::kFram, ctx.in_addr + base, MemKind::kSram, sp.input_stage, len);
+    const std::size_t nb0 = c == c0 ? start_unit % nblocks : 0;
+    for (std::size_t nb = nb0; nb < nblocks; ++nb) {
+      const std::size_t unit = c * nblocks + nb;
+      if (hooks.boundary) hooks.boundary(unit);
+      const std::size_t o_lo = nb * kDenseNeuronBlock;
+      const std::size_t o_hi = std::min(o_lo + kDenseNeuronBlock, out);
+      for (std::size_t o = o_lo; o < o_hi; ++o) {
+        move_words(dv, MemKind::kFram, ctx.img().w_base + o * in + base, MemKind::kSram,
+                   sp.kern_vec, len);
+        const std::int64_t chunk = dv.lea_mac(sp.input_stage, sp.kern_vec, len);
+        dv.cpu_ops(6);
+        const std::int64_t folded =
+            static_cast<std::int64_t>(read_acc32(dv, MemKind::kSram, sp.acc32, o)) +
+            (chunk >> guard);  // fits 32 bits by guard construction
+        write_acc32(dv, MemKind::kSram, sp.acc32, o, static_cast<std::int32_t>(folded));
+      }
+      if (hooks.committed) hooks.committed(unit);
+    }
+  }
+
+  // Narrow all neurons and bulk-commit.
+  for (std::size_t o = 0; o < out; ++o) {
+    dv.cpu_ops(4);
+    q15_t v = fx::narrow_q30(static_cast<std::int64_t>(read_acc32(dv, MemKind::kSram, sp.acc32, o)),
+                             rshift, ctx.stats);
+    if (!q.bias.empty()) {
+      v = fx::add_sat(v, dv.read(MemKind::kFram, ctx.img().b_base + o), ctx.stats);
+    }
+    dv.write(MemKind::kSram, sp.row_stage + o, v);
+  }
+  move_words(dv, MemKind::kSram, sp.row_stage, MemKind::kFram, ctx.out_addr, out);
+}
+
+// ---------------------------------------------------------------- CPU layers
+
+void run_cpu_layer(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
+  dev::Device& dv = ctx.dev;
+  const QLayer& q = ctx.q();
+  const std::size_t n = q.out_size();
+  const std::size_t units = div_ceil(n, kCpuUnit);
+
+  for (std::size_t u = start_unit; u < units; ++u) {
+    if (hooks.boundary) hooks.boundary(u);
+    const std::size_t lo = u * kCpuUnit;
+    const std::size_t hi = std::min(lo + kCpuUnit, n);
+    switch (q.kind) {
+      case QKind::kReLU:
+        for (std::size_t e = lo; e < hi; ++e) {
+          const q15_t v = dv.read(MemKind::kFram, ctx.in_addr + e);
+          dv.cpu_ops(2);
+          dv.write(MemKind::kFram, ctx.out_addr + e, std::max<q15_t>(v, 0));
+        }
+        break;
+      case QKind::kMaxPool2D: {
+        const std::size_t ihh = q.in_shape[1], iww = q.in_shape[2];
+        const std::size_t ohh = q.out_shape[1], oww = q.out_shape[2];
+        for (std::size_t e = lo; e < hi; ++e) {
+          const std::size_t ch = e / (ohh * oww);
+          const std::size_t i = (e / oww) % ohh;
+          const std::size_t j = e % oww;
+          q15_t m = fx::kQ15Min;
+          for (std::size_t di = 0; di < 2; ++di) {
+            for (std::size_t dj = 0; dj < 2; ++dj) {
+              m = std::max(m, dv.read(MemKind::kFram,
+                                      ctx.in_addr + (ch * ihh + 2 * i + di) * iww + 2 * j + dj));
+            }
+          }
+          dv.cpu_ops(5);
+          dv.write(MemKind::kFram, ctx.out_addr + e, m);
+        }
+        break;
+      }
+      case QKind::kFlatten:
+        move_words(dv, MemKind::kFram, ctx.in_addr + lo, MemKind::kFram, ctx.out_addr + lo,
+                   hi - lo);
+        break;
+      default:
+        fail("run_cpu_layer: not a CPU layer");
+    }
+    if (hooks.committed) hooks.committed(u);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- BCM (Alg. 1)
+
+void run_bcm(ExecCtx& ctx, BcmState st, BcmObserver* obs) {
+  dev::Device& dv = ctx.dev;
+  const QLayer& q = ctx.q();
+  const SramPlan& sp = ctx.cm.sram;
+  const std::size_t k = q.k;
+  const int lg = ilog2(k);
+  const std::size_t in = q.in_size();
+  const int row_rshift = lg + q.out_exp - q.w_exp - q.in_exp;
+
+  BcmObserver null_obs;
+  if (obs == nullptr) obs = &null_obs;
+
+  const std::size_t start_bi = st.block / q.bq;
+  for (std::size_t bi = start_bi; bi < q.bp; ++bi) {
+    const bool resumed_row = (bi == start_bi);
+    const std::size_t j0 = resumed_row ? st.block % q.bq : 0;
+
+    // Fresh rows start with a zero accumulator; a resumed row relies on
+    // the caller having restored it (or j0 == 0 && stage == kLoad, where
+    // nothing has been accumulated yet).
+    if (!resumed_row || (j0 == 0 && st.stage == BcmStage::kLoad)) {
+      for (std::size_t t = 0; t < k; ++t) write_acc64(dv, MemKind::kSram, sp.acc32, t, 0);
+    }
+
+    for (std::size_t bj = j0; bj < q.bq; ++bj) {
+      const std::size_t block = bi * q.bq + bj;
+      const bool resumed_block = resumed_row && bj == j0;
+      BcmStage stage = resumed_block ? st.stage : BcmStage::kLoad;
+      int exp_x = resumed_block ? st.exp_x : 0;
+      int exp_w = resumed_block ? st.exp_w : 0;
+      int exp_p = resumed_block ? st.exp_p : 0;
+
+      // Stage machine with fall-through (Fig. 6's b0-b2 control bits).
+      if (stage == BcmStage::kLoad) {
+        // x_j block (zero-padded tail), w_ij first column.
+        const std::size_t base = bj * k;
+        const std::size_t real = base < in ? std::min(k, in - base) : 0;
+        if (real > 0) {
+          move_words(dv, MemKind::kFram, ctx.in_addr + base, MemKind::kSram, sp.x_blk, real);
+        }
+        for (std::size_t t = real; t < k; ++t) {
+          dv.cpu_ops(1);
+          dv.write(MemKind::kSram, sp.x_blk + t, 0);
+        }
+        move_words(dv, MemKind::kFram, ctx.img().w_base + block * k, MemKind::kSram, sp.w_blk,
+                   k);
+        // COMPLEX: interleave with zero imaginary parts (Algorithm 1 l.5-6).
+        for (std::size_t t = 0; t < k; ++t) {
+          dv.cpu_ops(2);
+          dv.write(MemKind::kSram, sp.fft_x + 2 * t, dv.read(MemKind::kSram, sp.x_blk + t));
+          dv.write(MemKind::kSram, sp.fft_x + 2 * t + 1, 0);
+          dv.write(MemKind::kSram, sp.fft_w + 2 * t, dv.read(MemKind::kSram, sp.w_blk + t));
+          dv.write(MemKind::kSram, sp.fft_w + 2 * t + 1, 0);
+        }
+        stage = BcmStage::kFftX;
+        obs->on_stage(ctx, {block, stage, exp_x, exp_w, exp_p});
+      }
+      if (stage == BcmStage::kFftX) {
+        exp_x = dv.lea_fft(sp.fft_x, k, ctx.scaling, ctx.stats);
+        stage = BcmStage::kFftW;
+        obs->on_stage(ctx, {block, stage, exp_x, exp_w, exp_p});
+      }
+      if (stage == BcmStage::kFftW) {
+        exp_w = dv.lea_fft(sp.fft_w, k, ctx.scaling, ctx.stats);
+        stage = BcmStage::kMpy;
+        obs->on_stage(ctx, {block, stage, exp_x, exp_w, exp_p});
+      }
+      if (stage == BcmStage::kMpy) {
+        // BFP product guard (see dsp::product_guard): scan both spectra,
+        // shift the louder one(s) so the complex multiply cannot saturate.
+        if (ctx.scaling == dsp::FftScaling::kBlockFloat) {
+          int mx = 0, mw = 0;
+          for (std::size_t i = 0; i < 2 * k; ++i) {
+            dv.cpu_ops(2);
+            mx = std::max(mx, std::abs(static_cast<int>(dv.read(MemKind::kSram, sp.fft_x + i))));
+            mw = std::max(mw, std::abs(static_cast<int>(dv.read(MemKind::kSram, sp.fft_w + i))));
+          }
+          const dsp::GuardShifts g = dsp::product_guard(mw, mx);
+          if (g.w > 0) {
+            dv.lea_shift(sp.fft_w, sp.fft_w, 2 * k, -g.w);
+            exp_w += g.w;
+          }
+          if (g.x > 0) {
+            dv.lea_shift(sp.fft_x, sp.fft_x, 2 * k, -g.x);
+            exp_x += g.x;
+          }
+        }
+        dv.lea_cmul(sp.fft_x, sp.fft_w, sp.fft_w, k, ctx.stats);  // product -> fft_w
+        stage = BcmStage::kIfft;
+        obs->on_stage(ctx, {block, stage, exp_x, exp_w, exp_p});
+      }
+      if (stage == BcmStage::kIfft) {
+        exp_p = dv.lea_ifft(sp.fft_w, k, ctx.scaling, ctx.stats);
+        stage = BcmStage::kAcc;
+        obs->on_stage(ctx, {block, stage, exp_x, exp_w, exp_p});
+      }
+      // kAcc: REAL extraction + fold into the row accumulator.
+      {
+        const int shift = exp_x + exp_w + exp_p + lg;
+        check(shift >= 0, "run_bcm: negative aligned exponent");
+        for (std::size_t t = 0; t < k; ++t) {
+          dv.cpu_ops(3);
+          const q15_t re = dv.read(MemKind::kSram, sp.fft_w + 2 * t);
+          const std::int64_t folded = read_acc64(dv, MemKind::kSram, sp.acc32, t) +
+                                      (static_cast<std::int64_t>(re) << shift);
+          write_acc64(dv, MemKind::kSram, sp.acc32, t, folded);
+        }
+        obs->on_block_done(ctx, block);
+      }
+    }
+
+    // SCALE-UP + bias + commit of output block row bi (Algorithm 1 l.9).
+    for (std::size_t t = 0; t < k; ++t) {
+      dv.cpu_ops(4);
+      q15_t v = fx::narrow_q30(read_acc64(dv, MemKind::kSram, sp.acc32, t), row_rshift,
+                               ctx.stats);
+      if (!q.bias.empty()) {
+        v = fx::add_sat(v, dv.read(MemKind::kFram, ctx.img().b_base + bi * k + t), ctx.stats);
+      }
+      dv.write(MemKind::kSram, sp.row_stage + t, v);
+    }
+    move_words(dv, MemKind::kSram, sp.row_stage, MemKind::kFram, ctx.out_addr + bi * k, k);
+    obs->on_row_committed(ctx, bi);
+
+    // Next row starts fresh.
+    st = BcmState{(bi + 1) * q.bq, BcmStage::kLoad, 0, 0, 0};
+  }
+}
+
+// ---------------------------------------------------------------- dispatch
+
+std::size_t unit_count(const QLayer& l) {
+  switch (l.kind) {
+    case QKind::kConv2D: return l.out_ch * l.out_shape[1];
+    case QKind::kConv1D: return l.out_ch;
+    case QKind::kDense:
+      return div_ceil(l.in_ch, quant::kDenseChunk) * dense_neuron_blocks(l);
+    case QKind::kBcmDense: return l.bp;  // committed rows
+    case QKind::kMaxPool2D:
+    case QKind::kReLU:
+    case QKind::kFlatten: return div_ceil(l.out_size(), kCpuUnit);
+  }
+  fail("unit_count: unknown kind");
+}
+
+namespace {
+
+// Adapter: expose BCM row commits as generic units. (Runtimes that need
+// stage-level observation — FLEX — call run_bcm directly instead.)
+class BcmUnitAdapter : public BcmObserver {
+ public:
+  explicit BcmUnitAdapter(const UnitHooks& hooks) : hooks_(hooks) {}
+  void on_row_committed(ExecCtx&, std::size_t bi) override {
+    if (hooks_.committed) hooks_.committed(bi);
+  }
+
+ private:
+  const UnitHooks& hooks_;
+};
+
+}  // namespace
+
+void run_layer(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
+  switch (ctx.q().kind) {
+    case QKind::kConv2D: run_conv2d(ctx, start_unit, hooks); return;
+    case QKind::kConv1D: run_conv1d(ctx, start_unit, hooks); return;
+    case QKind::kDense: run_dense(ctx, start_unit, hooks); return;
+    case QKind::kBcmDense: {
+      BcmUnitAdapter adapter(hooks);
+      run_bcm(ctx, BcmState{start_unit * ctx.q().bq, BcmStage::kLoad, 0, 0, 0}, &adapter);
+      return;
+    }
+    case QKind::kMaxPool2D:
+    case QKind::kReLU:
+    case QKind::kFlatten: run_cpu_layer(ctx, start_unit, hooks); return;
+  }
+  fail("run_layer: unknown kind");
+}
+
+// ---------------------------------------------------------------- acc helpers
+
+std::int32_t read_acc32(dev::Device& dev, MemKind mem, Addr base, std::size_t idx) {
+  const auto lo = static_cast<std::uint16_t>(dev.read(mem, base + 2 * idx));
+  const auto hi = static_cast<std::uint16_t>(dev.read(mem, base + 2 * idx + 1));
+  return static_cast<std::int32_t>((static_cast<std::uint32_t>(hi) << 16) | lo);
+}
+
+void write_acc32(dev::Device& dev, MemKind mem, Addr base, std::size_t idx, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  dev.write(mem, base + 2 * idx, static_cast<fx::q15_t>(u & 0xffff));
+  dev.write(mem, base + 2 * idx + 1, static_cast<fx::q15_t>((u >> 16) & 0xffff));
+}
+
+std::int64_t read_acc64(dev::Device& dev, MemKind mem, Addr base, std::size_t idx) {
+  std::uint64_t u = 0;
+  for (int w = 3; w >= 0; --w) {
+    u = (u << 16) | static_cast<std::uint16_t>(dev.read(mem, base + 4 * idx + w));
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+void write_acc64(dev::Device& dev, MemKind mem, Addr base, std::size_t idx, std::int64_t v) {
+  auto u = static_cast<std::uint64_t>(v);
+  for (int w = 0; w < 4; ++w) {
+    dev.write(mem, base + 4 * idx + w, static_cast<fx::q15_t>(u & 0xffff));
+    u >>= 16;
+  }
+}
+
+}  // namespace ehdnn::ace

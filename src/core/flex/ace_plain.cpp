@@ -1,0 +1,77 @@
+// AceRuntime: the ACE execution engine with no intermittence support.
+// On the compressed model this is the paper's "ACE"; on the dense model it
+// is "BASE". A power failure loses all volatile progress, so the whole
+// inference restarts — under harvested power with a 100 uF buffer the
+// inference energy exceeds the burst energy by orders of magnitude and the
+// run can never complete (Fig. 7b).
+
+#include "core/flex/runtime.h"
+
+namespace ehdnn::flex {
+
+namespace {
+
+class AceRuntime : public InferenceRuntime {
+ public:
+  std::string name() const override { return "ACE"; }
+
+  RunStats infer(dev::Device& dev, const ace::CompiledModel& cm,
+                 std::span<const fx::q15_t> input, const RunOptions& opts) override {
+    RunStats st;
+    st.units_total = total_units(cm);
+    const TraceBaseline base = mark(dev);
+
+    // Livelock detection: without checkpoints, every attempt restarts from
+    // scratch. If the farthest point reached stops improving for a window
+    // of attempts, no future attempt can complete either (burst energy is
+    // bounded) and the run is declared DNF — the paper's "X" in Fig. 7b.
+    double best_attempt_cycles = 0.0;
+    int stale_attempts = 0;
+    constexpr int kPatience = 25;
+
+    while (true) {
+      const double attempt_start = dev.trace().total_cycles();
+      try {
+        load_input(dev, cm, input);  // restart implies re-acquiring input
+        run_all(dev, cm, opts, st);
+        st.completed = true;
+        break;
+      } catch (const dev::PowerFailure&) {
+        const double attempt_cycles = dev.trace().total_cycles() - attempt_start;
+        if (attempt_cycles > best_attempt_cycles * 1.001) {
+          best_attempt_cycles = attempt_cycles;
+          stale_attempts = 0;
+        } else {
+          ++stale_attempts;
+        }
+        if (stale_attempts >= kPatience || dev.reboots() - base.reboots >= opts.max_reboots) {
+          st.completed = false;
+          break;
+        }
+        st.off_seconds += dev.supply()->recharge_to_on();
+        dev.reboot();
+      }
+    }
+
+    fill_stats(st, dev, base);
+    if (st.completed) st.output = read_output(dev, cm);
+    return st;
+  }
+
+ private:
+  void run_all(dev::Device& dev, const ace::CompiledModel& cm, const RunOptions& opts,
+               RunStats& st) {
+    for (std::size_t l = 0; l < cm.model.layers.size(); ++l) {
+      ace::ExecCtx ctx{dev, cm, l, cm.act_in(l), cm.act_out(l), opts.scaling, opts.stats};
+      ace::UnitHooks hooks;
+      hooks.committed = [&st](std::size_t) { ++st.units_executed; };
+      ace::run_layer(ctx, 0, hooks);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<InferenceRuntime> make_ace_runtime() { return std::make_unique<AceRuntime>(); }
+
+}  // namespace ehdnn::flex

@@ -1,0 +1,122 @@
+// Intermittent inference runtimes (paper SSIII-C and the SSIV baselines).
+//
+// All five execution strategies the paper evaluates run the same compiled
+// model format on the same device model; only the checkpointing strategy
+// (and for SONIC the compute style) differs:
+//
+//   * AceRuntime  — ACE kernels, no intermittence support. Fast, but on a
+//     power failure all volatile progress is gone and the inference
+//     restarts; under harvested power it never completes (Fig. 7b "X").
+//     Run on the compressed model it is the paper's "ACE"; run on the
+//     uncompressed dense model it is the paper's "BASE".
+//   * SonicRuntime — SONIC [Gobieski et al., ASPLOS'19]: element-wise CPU
+//     inference with loop continuation: loop indices and accumulators are
+//     committed to FRAM as execution proceeds (parity slots make the
+//     read-modify-write accumulator idempotent). Dense models only.
+//   * TailsRuntime — TAILS: the same loop-continuation protocol, but inner
+//     vector work runs on the LEA with DMA staging. Progress exists only
+//     at vector-op (unit) granularity, so a failure mid-operation rolls
+//     back to the start of that operation (Fig. 6 left).
+//   * FlexRuntime — the paper's contribution: ACE kernels plus *on-demand*
+//     checkpointing. A voltage monitor warns before brown-out; only then
+//     does FLEX copy its state (block index, stage bits b0-b2, the live
+//     intermediate buffers, the accumulator row) into a two-slot FRAM
+//     checkpoint. Steady-state overhead is a cheap header write per layer
+//     transition; measured total overhead is ~1% (SSIV-A.5).
+//
+// The correctness contract every intermittent runtime must satisfy (and
+// tests/flex_test.cpp verifies): the final output equals the same
+// runtime's continuous-power output bit for bit, for any failure schedule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ace/compiled_model.h"
+#include "core/ace/kernels.h"
+#include "dsp/fft.h"
+
+namespace ehdnn::flex {
+
+struct RunStats {
+  bool completed = false;
+  std::vector<fx::q15_t> output;
+
+  double on_seconds = 0.0;      // device-active time
+  double off_seconds = 0.0;     // recharge gaps
+  double energy_j = 0.0;        // total drawn while on
+  double energy_by_rail[static_cast<std::size_t>(dev::Rail::kCount)] = {};
+
+  long reboots = 0;
+  long checkpoints = 0;         // explicit checkpoint events (FLEX)
+  double checkpoint_energy_j = 0.0;
+  long progress_commits = 0;    // steady-state index/acc commits (SONIC/TAILS)
+  long units_executed = 0;      // incl. re-execution after rollback
+  long units_total = 0;         // sum of unit_count over layers
+  long wasted_units() const { return units_executed - units_total; }
+
+  double total_seconds() const { return on_seconds + off_seconds; }
+};
+
+struct RunOptions {
+  dsp::FftScaling scaling = dsp::FftScaling::kBlockFloat;
+  fx::SatStats* stats = nullptr;
+  long max_reboots = 200000;  // livelock guard (BASE/ACE under harvesting)
+  // FLEX voltage-monitor warning threshold (volts). Sized so the energy
+  // between v_warn and the brown-out voltage covers the worst-case
+  // checkpoint (power::warn_voltage_for computes it from the capacitor
+  // parameters and worst_checkpoint_energy below).
+  double flex_v_warn = 2.45;
+};
+
+// Worst-case FLEX checkpoint cost for a compiled model on this device —
+// the quantity the voltage-monitor threshold must budget for (and the
+// paper's "at most 0.033 mJ" per-checkpoint bound, SSIV-A.5).
+double worst_checkpoint_energy(const ace::CompiledModel& cm, const dev::CostModel& cost);
+
+class InferenceRuntime {
+ public:
+  virtual ~InferenceRuntime() = default;
+  virtual std::string name() const = 0;
+
+  // Runs one inference. `input` is written into the first activation
+  // buffer cost-free (sensor DMA happens outside the measured window for
+  // every framework alike). The device must already have its supply
+  // attached; the runtime handles failures/reboots internally.
+  virtual RunStats infer(dev::Device& dev, const ace::CompiledModel& cm,
+                         std::span<const fx::q15_t> input, const RunOptions& opts = {}) = 0;
+};
+
+// Factories.
+std::unique_ptr<InferenceRuntime> make_ace_runtime();    // also BASE (dense model)
+std::unique_ptr<InferenceRuntime> make_sonic_runtime();
+std::unique_ptr<InferenceRuntime> make_tails_runtime();
+std::unique_ptr<InferenceRuntime> make_flex_runtime();
+
+// --- shared helpers ---------------------------------------------------------
+
+// Writes the input into act_a (cost-free; see infer() contract).
+void load_input(dev::Device& dev, const ace::CompiledModel& cm,
+                std::span<const fx::q15_t> input);
+
+// Reads the final output from the last layer's activation buffer
+// (cost-free extraction for comparison).
+std::vector<fx::q15_t> read_output(dev::Device& dev, const ace::CompiledModel& cm);
+
+// Start-of-inference marker so stats are per-inference deltas even when a
+// device instance runs many inferences.
+struct TraceBaseline {
+  double energy[static_cast<std::size_t>(dev::Rail::kCount)] = {};
+  double total_cycles = 0.0;
+  long reboots = 0;
+};
+TraceBaseline mark(const dev::Device& dev);
+
+// Fills RunStats energy/time fields from the device trace delta.
+void fill_stats(RunStats& st, const dev::Device& dev, const TraceBaseline& base);
+
+// Sum of unit_count over all layers.
+long total_units(const ace::CompiledModel& cm);
+
+}  // namespace ehdnn::flex

@@ -1,0 +1,270 @@
+// SonicRuntime: SONIC-style software-only intermittent inference
+// (Gobieski et al., ASPLOS'19), re-implemented on the ehdnn device model.
+//
+// Execution is element-wise on the CPU — no LEA, no DMA — and progress is
+// continuously committed to FRAM ("loop continuation"):
+//   ctrl[0] = layer, ctrl[1] = outer index, ctrl[2] = inner tile.
+// Dense accumulators are read-modify-write across tiles, which is the
+// classic intermittent W-A-R hazard; SONIC's loop-ordered buffering is
+// modelled with two FRAM parity slots: the accumulator state after tile t
+// lives in slot[(t+1) & 1], so re-executing tile t after a failure reads
+// the untouched slot[t & 1] and the redo is idempotent.
+//
+// Commit-order discipline (inner index first, then outer, then layer)
+// makes every multi-word control transition safe to tear.
+
+#include <algorithm>
+
+#include "core/flex/runtime.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ehdnn::flex {
+
+namespace {
+
+using dev::Addr;
+using dev::MemKind;
+using fx::q15_t;
+using quant::QKind;
+using quant::QLayer;
+
+constexpr std::size_t kTile = 16;      // dense inner commit granularity
+constexpr std::size_t kCpuTile = 16;   // element layers commit granularity
+
+class SonicRuntime : public InferenceRuntime {
+ public:
+  std::string name() const override { return "SONIC"; }
+
+  RunStats infer(dev::Device& dev, const ace::CompiledModel& cm,
+                 std::span<const fx::q15_t> input, const RunOptions& opts) override {
+    RunStats st;
+    st.units_total = sonic_units(cm);
+    const TraceBaseline base = mark(dev);
+
+    load_input(dev, cm, input);
+    // Fresh inference: reset the loop-continuation cursor.
+    dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
+    dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
+    dev.write(MemKind::kFram, cm.ctrl_base + 0, 0);
+
+    while (true) {
+      try {
+        run_from_ctrl(dev, cm, st);
+        st.completed = true;
+        break;
+      } catch (const dev::PowerFailure&) {
+        if (dev.reboots() - base.reboots >= opts.max_reboots) break;
+        st.off_seconds += dev.supply()->recharge_to_on();
+        dev.reboot();
+      }
+    }
+
+    fill_stats(st, dev, base);
+    if (st.completed) st.output = read_output(dev, cm);
+    return st;
+  }
+
+ private:
+  static std::size_t sonic_units(const ace::CompiledModel& cm) {
+    std::size_t n = 0;
+    for (const auto& l : cm.model.layers) {
+      switch (l.kind) {
+        case QKind::kDense:
+          n += l.out_ch * div_ceil(l.in_ch, kTile);
+          break;
+        case QKind::kConv2D:
+        case QKind::kConv1D:
+          n += l.out_size();
+          break;
+        default:
+          n += div_ceil(l.out_size(), kCpuTile);
+      }
+    }
+    return n;
+  }
+
+  void run_from_ctrl(dev::Device& dev, const ace::CompiledModel& cm, RunStats& st) {
+    // Restore the cursor (three cheap FRAM reads at boot).
+    std::size_t layer = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 0));
+    std::size_t outer = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 1));
+    std::size_t tile = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 2));
+
+    for (; layer < cm.model.layers.size(); ++layer) {
+      run_sonic_layer(dev, cm, layer, outer, tile, st);
+      outer = 0;
+      tile = 0;
+      // Layer transition (inner-first commit order).
+      dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
+      dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
+      dev.write(MemKind::kFram, cm.ctrl_base + 0, static_cast<q15_t>(layer + 1));
+    }
+  }
+
+  void commit_inner(dev::Device& dev, const ace::CompiledModel& cm, std::size_t tile,
+                    RunStats& st) {
+    dev.write(MemKind::kFram, cm.ctrl_base + 2, static_cast<q15_t>(tile));
+    ++st.progress_commits;
+    ++st.units_executed;
+  }
+
+  void commit_outer(dev::Device& dev, const ace::CompiledModel& cm, std::size_t outer,
+                    RunStats& st) {
+    dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
+    dev.write(MemKind::kFram, cm.ctrl_base + 1, static_cast<q15_t>(outer));
+    ++st.progress_commits;
+  }
+
+  void run_sonic_layer(dev::Device& dev, const ace::CompiledModel& cm, std::size_t l,
+                       std::size_t outer0, std::size_t tile0, RunStats& st) {
+    const QLayer& q = cm.model.layers[l];
+    const Addr in = cm.act_in(l);
+    const Addr out = cm.act_out(l);
+    const Addr wb = cm.images[l].w_base;
+    const Addr bb = cm.images[l].b_base;
+
+    switch (q.kind) {
+      case QKind::kDense: {
+        const std::size_t nin = q.in_ch;
+        const std::size_t ntiles = div_ceil(nin, kTile);
+        const int guard = quant::dense_guard_shift(nin);
+        const int rshift = 15 + q.out_exp - q.w_exp - q.in_exp - guard;
+        for (std::size_t o = outer0; o < q.out_ch; ++o) {
+          for (std::size_t t = (o == outer0 ? tile0 : 0); t < ntiles; ++t) {
+            // Accumulator state before tile t lives in parity slot [t & 1].
+            std::int32_t acc =
+                t == 0 ? 0 : ace::read_acc32(dev, MemKind::kFram, cm.nv_acc_base, t & 1);
+            const std::size_t lo = t * kTile;
+            const std::size_t hi = std::min(lo + kTile, nin);
+            for (std::size_t i = lo; i < hi; ++i) {
+              const q15_t xv = dev.read(MemKind::kFram, in + i);
+              const q15_t wv = dev.read(MemKind::kFram, wb + o * nin + i);
+              dev.cpu_mac_cycles();
+              dev.cpu_ops(2);
+              acc += static_cast<std::int32_t>(fx::mul_q30(xv, wv) >> guard);
+            }
+            ace::write_acc32(dev, MemKind::kFram, cm.nv_acc_base, (t + 1) & 1, acc);
+            if (t + 1 == ntiles) {
+              // Finish the neuron before the cursor moves past it.
+              dev.cpu_ops(4);
+              q15_t v = fx::narrow_q30(static_cast<std::int64_t>(acc), rshift);
+              if (!q.bias.empty()) v = fx::add_sat(v, dev.read(MemKind::kFram, bb + o));
+              dev.write(MemKind::kFram, out + o, v);
+              commit_outer(dev, cm, o + 1, st);
+              ++st.units_executed;
+            } else {
+              commit_inner(dev, cm, t + 1, st);
+            }
+          }
+        }
+        break;
+      }
+
+      case QKind::kConv2D: {
+        const std::size_t ih = q.in_shape[1], iw = q.in_shape[2];
+        const std::size_t oh = q.out_shape[1], ow = q.out_shape[2];
+        const int rshift = 15 + q.out_exp - q.w_exp - q.in_exp;
+        for (std::size_t px = outer0; px < q.out_size(); ++px) {
+          const std::size_t f = px / (oh * ow);
+          const std::size_t i = (px / ow) % oh;
+          const std::size_t j = px % ow;
+          std::int64_t acc = 0;
+          for (std::size_t c = 0; c < q.in_ch; ++c) {
+            for (std::size_t r = 0; r < q.kh; ++r) {
+              for (std::size_t s = 0; s < q.kw; ++s) {
+                const q15_t xv = dev.read(MemKind::kFram, in + (c * ih + i + r) * iw + j + s);
+                const q15_t wv =
+                    dev.read(MemKind::kFram, wb + ((f * q.in_ch + c) * q.kh + r) * q.kw + s);
+                dev.cpu_mac_cycles();
+                dev.cpu_ops(2);
+                acc += fx::mul_q30(xv, wv);
+              }
+            }
+          }
+          dev.cpu_ops(4);
+          q15_t v = fx::narrow_q30(acc, rshift);
+          if (!q.bias.empty()) v = fx::add_sat(v, dev.read(MemKind::kFram, bb + f));
+          dev.write(MemKind::kFram, out + px, v);
+          commit_outer(dev, cm, px + 1, st);
+          ++st.units_executed;
+        }
+        break;
+      }
+
+      case QKind::kConv1D: {
+        const std::size_t il = q.in_shape[1];
+        const std::size_t ol = q.out_shape[1];
+        const int rshift = 15 + q.out_exp - q.w_exp - q.in_exp;
+        for (std::size_t px = outer0; px < q.out_size(); ++px) {
+          const std::size_t f = px / ol;
+          const std::size_t i = px % ol;
+          std::int64_t acc = 0;
+          for (std::size_t c = 0; c < q.in_ch; ++c) {
+            for (std::size_t t = 0; t < q.k; ++t) {
+              const q15_t xv = dev.read(MemKind::kFram, in + c * il + i + t);
+              const q15_t wv = dev.read(MemKind::kFram, wb + (f * q.in_ch + c) * q.k + t);
+              dev.cpu_mac_cycles();
+              dev.cpu_ops(2);
+              acc += fx::mul_q30(xv, wv);
+            }
+          }
+          dev.cpu_ops(4);
+          q15_t v = fx::narrow_q30(acc, rshift);
+          if (!q.bias.empty()) v = fx::add_sat(v, dev.read(MemKind::kFram, bb + f));
+          dev.write(MemKind::kFram, out + px, v);
+          commit_outer(dev, cm, px + 1, st);
+          ++st.units_executed;
+        }
+        break;
+      }
+
+      case QKind::kReLU:
+      case QKind::kFlatten:
+      case QKind::kMaxPool2D: {
+        const std::size_t n = q.out_size();
+        const std::size_t tiles = div_ceil(n, kCpuTile);
+        for (std::size_t t = outer0; t < tiles; ++t) {
+          const std::size_t lo = t * kCpuTile;
+          const std::size_t hi = std::min(lo + kCpuTile, n);
+          for (std::size_t e = lo; e < hi; ++e) {
+            q15_t v;
+            if (q.kind == QKind::kMaxPool2D) {
+              const std::size_t ihh = q.in_shape[1], iww = q.in_shape[2];
+              const std::size_t ohh = q.out_shape[1], oww = q.out_shape[2];
+              const std::size_t ch = e / (ohh * oww);
+              const std::size_t i = (e / oww) % ohh;
+              const std::size_t j = e % oww;
+              v = fx::kQ15Min;
+              for (std::size_t di = 0; di < 2; ++di) {
+                for (std::size_t dj = 0; dj < 2; ++dj) {
+                  v = std::max(v, dev.read(MemKind::kFram,
+                                           in + (ch * ihh + 2 * i + di) * iww + 2 * j + dj));
+                }
+              }
+              dev.cpu_ops(5);
+            } else {
+              v = dev.read(MemKind::kFram, in + e);
+              dev.cpu_ops(2);
+              if (q.kind == QKind::kReLU) v = std::max<q15_t>(v, 0);
+            }
+            dev.write(MemKind::kFram, out + e, v);
+          }
+          commit_outer(dev, cm, t + 1, st);
+          ++st.units_executed;
+        }
+        break;
+      }
+
+      case QKind::kBcmDense:
+        fail("SONIC has no BCM support (run it on the dense model)");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<InferenceRuntime> make_sonic_runtime() {
+  return std::make_unique<SonicRuntime>();
+}
+
+}  // namespace ehdnn::flex

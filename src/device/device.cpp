@@ -1,0 +1,195 @@
+#include "device/device.h"
+
+#include <vector>
+
+#include "util/math.h"
+
+namespace ehdnn::dev {
+
+Device::Device(DeviceConfig cfg)
+    : cfg_(cfg),
+      sram_(MemKind::kSram, cfg.sram_words),
+      fram_(MemKind::kFram, cfg.fram_words),
+      scramble_rng_(cfg.scramble_seed) {}
+
+void Device::spend(Rail rail, double cycles, double extra_energy_joules,
+                   double active_power_watts) {
+  const double dt = cfg_.cost.seconds(cycles);
+  const double joules = active_power_watts * dt + extra_energy_joules;
+  trace_.add(rail, joules, cycles);
+  if (supply_ != nullptr && !supply_->consume(joules, dt)) {
+    throw PowerFailure{};
+  }
+}
+
+void Device::cpu_ops(double n_ops) {
+  spend(Rail::kCpu, n_ops * cfg_.cost.cycles_cpu_op, 0.0, cfg_.cost.p_cpu_active);
+}
+
+void Device::cpu_mac_cycles() {
+  spend(Rail::kCpu, cfg_.cost.cycles_cpu_mac, 0.0, cfg_.cost.p_cpu_active);
+}
+
+fx::q15_t Device::read(MemKind mem, Addr a) {
+  if (mem == MemKind::kSram) {
+    spend(Rail::kSramRead, cfg_.cost.cycles_sram_word, cfg_.cost.e_sram_read,
+          cfg_.cost.p_cpu_active);
+    return sram_.peek(a);
+  }
+  spend(Rail::kFramRead, cfg_.cost.cycles_fram_word, cfg_.cost.e_fram_read,
+        cfg_.cost.p_cpu_active);
+  return fram_.peek(a);
+}
+
+void Device::write(MemKind mem, Addr a, fx::q15_t v) {
+  if (mem == MemKind::kSram) {
+    spend(Rail::kSramWrite, cfg_.cost.cycles_sram_word, cfg_.cost.e_sram_write,
+          cfg_.cost.p_cpu_active);
+    sram_.poke(a, v);
+    return;
+  }
+  spend(Rail::kFramWrite, cfg_.cost.cycles_fram_word, cfg_.cost.e_fram_write,
+        cfg_.cost.p_cpu_active);
+  fram_.poke(a, v);
+}
+
+void Device::dma_copy(MemKind src_mem, Addr src, MemKind dst_mem, Addr dst,
+                      std::size_t words) {
+  spend(Rail::kDma, cfg_.cost.cycles_dma_setup, 0.0, cfg_.cost.p_dma_active);
+  MemoryRegion& s = region(src_mem);
+  MemoryRegion& d = region(dst_mem);
+  const CostModel& cm = cfg_.cost;
+  for (std::size_t i = 0; i < words; ++i) {
+    const double e_rd = src_mem == MemKind::kSram ? cm.e_sram_read : cm.e_fram_read;
+    const double e_wr = dst_mem == MemKind::kSram ? cm.e_sram_write : cm.e_fram_write;
+    // Word effect applied only after its energy is paid: a brown-out mid
+    // transfer leaves a clean prefix.
+    spend(Rail::kDma, cm.cycles_dma_word, e_rd + e_wr, cm.p_dma_active);
+    d.poke(dst + i, s.peek(src + i));
+  }
+}
+
+std::int64_t Device::lea_mac(Addr a, Addr b, std::size_t n, bool* overflow) {
+  const CostModel& cm = cfg_.cost;
+  const double cycles = cm.lea_setup + cm.lea_mac_per_elem * static_cast<double>(n);
+  const double e_mem = static_cast<double>(2 * n) * cm.e_sram_read;
+  spend(Rail::kLea, cycles, e_mem, cm.p_lea_active);
+  std::int64_t acc = 0;
+  bool ovf = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += fx::mul_q30(sram_.peek(a + i), sram_.peek(b + i));
+    if (acc > std::numeric_limits<fx::q31_t>::max() ||
+        acc < std::numeric_limits<fx::q31_t>::min()) {
+      ovf = true;
+    }
+  }
+  if (overflow != nullptr) *overflow = ovf;
+  return acc;
+}
+
+void Device::lea_add(Addr a, Addr b, Addr out, std::size_t n, fx::SatStats* stats) {
+  const CostModel& cm = cfg_.cost;
+  spend(Rail::kLea, cm.lea_setup + cm.lea_add_per_elem * static_cast<double>(n),
+        static_cast<double>(2 * n) * cm.e_sram_read + static_cast<double>(n) * cm.e_sram_write,
+        cm.p_lea_active);
+  for (std::size_t i = 0; i < n; ++i) {
+    sram_.poke(out + i, fx::add_sat(sram_.peek(a + i), sram_.peek(b + i), stats));
+  }
+}
+
+void Device::lea_mpy(Addr a, Addr b, Addr out, std::size_t n, fx::SatStats* stats) {
+  const CostModel& cm = cfg_.cost;
+  spend(Rail::kLea, cm.lea_setup + cm.lea_mpy_per_elem * static_cast<double>(n),
+        static_cast<double>(2 * n) * cm.e_sram_read + static_cast<double>(n) * cm.e_sram_write,
+        cm.p_lea_active);
+  for (std::size_t i = 0; i < n; ++i) {
+    sram_.poke(out + i, fx::mul_q15(sram_.peek(a + i), sram_.peek(b + i), stats));
+  }
+}
+
+void Device::lea_shift(Addr a, Addr out, std::size_t n, int left_shift, fx::SatStats* stats) {
+  const CostModel& cm = cfg_.cost;
+  spend(Rail::kLea, cm.lea_setup + cm.lea_shift_per_elem * static_cast<double>(n),
+        static_cast<double>(n) * (cm.e_sram_read + cm.e_sram_write), cm.p_lea_active);
+  for (std::size_t i = 0; i < n; ++i) {
+    sram_.poke(out + i, fx::shift_sat(sram_.peek(a + i), left_shift, stats));
+  }
+}
+
+void Device::lea_cmul(Addr a, Addr b, Addr out, std::size_t n, fx::SatStats* stats) {
+  const CostModel& cm = cfg_.cost;
+  spend(Rail::kLea, cm.lea_setup + cm.lea_cmul_per_elem * static_cast<double>(n),
+        static_cast<double>(4 * n) * cm.e_sram_read +
+            static_cast<double>(2 * n) * cm.e_sram_write,
+        cm.p_lea_active);
+  for (std::size_t i = 0; i < n; ++i) {
+    const fx::cq15 av{sram_.peek(a + 2 * i), sram_.peek(a + 2 * i + 1)};
+    const fx::cq15 bv{sram_.peek(b + 2 * i), sram_.peek(b + 2 * i + 1)};
+    const fx::cq15 r = fx::cmul(av, bv, stats);
+    sram_.poke(out + 2 * i, r.re);
+    sram_.poke(out + 2 * i + 1, r.im);
+  }
+}
+
+namespace {
+
+double fft_cycles(const CostModel& cm, std::size_t n) {
+  const double butterflies = static_cast<double>(n) / 2.0 * static_cast<double>(ilog2(n));
+  return cm.lea_setup + cm.lea_fft_per_butterfly * butterflies;
+}
+
+}  // namespace
+
+int Device::lea_fft(Addr a, std::size_t n, dsp::FftScaling scaling, fx::SatStats* stats) {
+  const CostModel& cm = cfg_.cost;
+  // The LEA streams the working set through its local SRAM bank; model
+  // one read + one write per word per pass over log2(n) stages.
+  const double passes = static_cast<double>(ilog2(n));
+  spend(Rail::kLea, fft_cycles(cm, n),
+        static_cast<double>(2 * n) * passes * (cm.e_sram_read + cm.e_sram_write),
+        cm.p_lea_active);
+  std::vector<fx::cq15> buf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = {sram_.peek(a + 2 * i), sram_.peek(a + 2 * i + 1)};
+  }
+  const int exp = dsp::fft_q15(buf, scaling, stats);
+  for (std::size_t i = 0; i < n; ++i) {
+    sram_.poke(a + 2 * i, buf[i].re);
+    sram_.poke(a + 2 * i + 1, buf[i].im);
+  }
+  return exp;
+}
+
+int Device::lea_ifft(Addr a, std::size_t n, dsp::FftScaling scaling, fx::SatStats* stats) {
+  const CostModel& cm = cfg_.cost;
+  const double passes = static_cast<double>(ilog2(n));
+  spend(Rail::kLea, fft_cycles(cm, n),
+        static_cast<double>(2 * n) * passes * (cm.e_sram_read + cm.e_sram_write),
+        cm.p_lea_active);
+  std::vector<fx::cq15> buf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = {sram_.peek(a + 2 * i), sram_.peek(a + 2 * i + 1)};
+  }
+  const int exp = dsp::ifft_q15(buf, scaling, stats);
+  for (std::size_t i = 0; i < n; ++i) {
+    sram_.poke(a + 2 * i, buf[i].re);
+    sram_.poke(a + 2 * i + 1, buf[i].im);
+  }
+  return exp;
+}
+
+void Device::reboot() {
+  ++reboots_;
+  sram_.scramble(scramble_rng_);
+  // Boot sequence: clock/FRAM controller init, reset vector dispatch.
+  // Charged to the CPU rail once back on.
+  spend(Rail::kCpu, 400.0, 0.0, cfg_.cost.p_cpu_active);
+}
+
+double Device::sample_voltage() {
+  // Comparator poll: trivial but not free.
+  spend(Rail::kCpu, 6.0, 0.0, cfg_.cost.p_cpu_active);
+  return supply_ != nullptr ? supply_->voltage() : 3.3;
+}
+
+}  // namespace ehdnn::dev

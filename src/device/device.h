@@ -1,0 +1,116 @@
+// The MSP430FR5994-class device model: CPU + LEA + DMA + SRAM + FRAM,
+// costed by CostModel, powered through PowerSupply.
+//
+// Every method that represents on-device work (1) computes its cycle and
+// energy cost, (2) draws that energy from the supply, throwing
+// PowerFailure on brown-out, and (3) applies its architectural effect to
+// the real memory contents. Mutating operations that touch non-volatile
+// FRAM are word-granular so a power failure can leave a partially written
+// FRAM region — exactly the hazard the intermittent runtimes must handle.
+// LEA operations read and write SRAM only, so their all-or-nothing
+// modelling is unobservable (SRAM is scrambled at reboot anyway).
+//
+// Default geometry matches the evaluation board: 8 KB SRAM (4 K words),
+// 256 KB FRAM (128 K words), 16 MHz. The LEA owns no memory of its own; it
+// operates on SRAM like the real block (which shares the lower SRAM bank).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "device/cost_model.h"
+#include "device/energy_trace.h"
+#include "device/memory.h"
+#include "device/power_interface.h"
+#include "dsp/fft.h"
+#include "fixed/cq15.h"
+
+namespace ehdnn::dev {
+
+struct DeviceConfig {
+  std::size_t sram_words = 4 * 1024;    // 8 KB
+  std::size_t fram_words = 128 * 1024;  // 256 KB
+  CostModel cost;
+  std::uint64_t scramble_seed = 0xdeadbeef;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg = {});
+
+  // Attach the supply (non-owning). Without one the device is on bench
+  // power: nothing ever fails.
+  void attach_supply(PowerSupply* supply) { supply_ = supply; }
+  PowerSupply* supply() { return supply_; }
+
+  MemoryRegion& sram() { return sram_; }
+  MemoryRegion& fram() { return fram_; }
+  const MemoryRegion& sram() const { return sram_; }
+  const MemoryRegion& fram() const { return fram_; }
+  MemoryRegion& region(MemKind k) { return k == MemKind::kSram ? sram_ : fram_; }
+
+  EnergyTrace& trace() { return trace_; }
+  const EnergyTrace& trace() const { return trace_; }
+  const CostModel& cost() const { return cfg_.cost; }
+
+  double elapsed_cycles() const { return trace_.total_cycles(); }
+  double elapsed_seconds() const { return cfg_.cost.seconds(trace_.total_cycles()); }
+  long reboots() const { return reboots_; }
+
+  // ---- CPU ------------------------------------------------------------
+  // n generic ALU cycles (loop control, compares, pointer arithmetic).
+  void cpu_ops(double n_ops);
+  // One 16x16+32 software MAC through the MPY32 peripheral (operands must
+  // already be in registers; memory traffic is charged separately).
+  void cpu_mac_cycles();
+
+  // Costed word accesses from the CPU.
+  fx::q15_t read(MemKind mem, Addr a);
+  void write(MemKind mem, Addr a, fx::q15_t v);
+
+  // ---- DMA ------------------------------------------------------------
+  // Bulk copy; word-granular effect application so FRAM writes can be
+  // torn by a power failure.
+  void dma_copy(MemKind src_mem, Addr src, MemKind dst_mem, Addr dst, std::size_t words);
+
+  // ---- LEA vector ops (SRAM operands only) ------------------------------
+  // MAC: sum of products over n q15 elements, 64-bit simulation accumulator
+  // (Q30 units). The real block has a 32-bit accumulator; overflow beyond
+  // it is reported through `overflow` when provided.
+  std::int64_t lea_mac(Addr a, Addr b, std::size_t n, bool* overflow = nullptr);
+
+  // Element-wise ops.
+  void lea_add(Addr a, Addr b, Addr out, std::size_t n, fx::SatStats* stats = nullptr);
+  void lea_mpy(Addr a, Addr b, Addr out, std::size_t n, fx::SatStats* stats = nullptr);
+  void lea_shift(Addr a, Addr out, std::size_t n, int left_shift,
+                 fx::SatStats* stats = nullptr);
+  // Complex multiply over interleaved (re,im) buffers of n complex elems.
+  void lea_cmul(Addr a, Addr b, Addr out, std::size_t n, fx::SatStats* stats = nullptr);
+
+  // In-place FFT/IFFT over n interleaved complex elements at `a`
+  // (2n words). Returns the scaling exponent increment (see dsp/fft.h).
+  int lea_fft(Addr a, std::size_t n, dsp::FftScaling scaling, fx::SatStats* stats = nullptr);
+  int lea_ifft(Addr a, std::size_t n, dsp::FftScaling scaling, fx::SatStats* stats = nullptr);
+
+  // ---- power ------------------------------------------------------------
+  // Reboot after a power failure: SRAM scrambled, FRAM retained.
+  // (The runtime decides what to do next; boot-time cost is charged.)
+  void reboot();
+
+  // Sample the supply voltage (the FLEX voltage-monitor read; costs a few
+  // CPU cycles for the comparator/ADC poll).
+  double sample_voltage();
+
+ private:
+  void spend(Rail rail, double cycles, double extra_energy_joules, double active_power_watts);
+
+  DeviceConfig cfg_;
+  MemoryRegion sram_;
+  MemoryRegion fram_;
+  EnergyTrace trace_;
+  PowerSupply* supply_ = nullptr;
+  Rng scramble_rng_;
+  long reboots_ = 0;
+};
+
+}  // namespace ehdnn::dev

@@ -1,0 +1,43 @@
+// The power-supply interface the device draws from, and the power-failure
+// signal that drives intermittent execution.
+//
+// Implementations live in src/power (capacitor + harvest source,
+// continuous bench supply). The device calls consume() for every costed
+// operation; a false return means the storage capacitor fell below the
+// brown-out threshold mid-operation, and the device throws PowerFailure,
+// which the intermittent runtimes in src/core/flex catch to simulate an
+// off period + reboot.
+#pragma once
+
+#include <exception>
+
+namespace ehdnn::dev {
+
+class PowerFailure : public std::exception {
+ public:
+  const char* what() const noexcept override { return "power failure (brown-out)"; }
+};
+
+class PowerSupply {
+ public:
+  virtual ~PowerSupply() = default;
+
+  // Draw `joules` over `dt` seconds (harvest income accrues over the same
+  // window). Returns false on brown-out; the energy is drained regardless
+  // (the capacitor empties into the dying device).
+  virtual bool consume(double joules, double dt) = 0;
+
+  // Current storage voltage — what FLEX's voltage monitor samples.
+  virtual double voltage() const = 0;
+
+  virtual bool on() const = 0;
+
+  // Advance time with the device off until the turn-on threshold is
+  // reached again; returns the off-time in seconds.
+  virtual double recharge_to_on() = 0;
+
+  // Elapsed supply-side time (on + off), seconds.
+  virtual double now() const = 0;
+};
+
+}  // namespace ehdnn::dev

@@ -1,0 +1,95 @@
+// Capacitor-buffered energy-harvesting supply (the paper's 100 uF buffer).
+//
+// The device operates while the capacitor voltage stays above v_off; it
+// boots (or re-boots) once harvesting has refilled the capacitor to v_on.
+// The usable burst energy is E = C/2 (v_on^2 - v_off^2) — about 0.30 mJ
+// with the defaults — which is what makes DNN inference intermittent:
+// a whole inference needs orders of magnitude more.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/power_interface.h"
+#include "power/harvest.h"
+
+namespace ehdnn::power {
+
+struct CapacitorConfig {
+  double capacitance_f = 100e-6;  // the paper's 100 uF
+  double v_on = 3.3;              // boot threshold
+  double v_off = 2.2;             // brown-out threshold
+  double v_max = 3.6;             // harvester regulator clamp
+  double recharge_step_s = 50e-6; // off-time integration step
+  double max_off_s = 3600.0;      // starvation guard
+};
+
+class CapacitorSupply : public dev::PowerSupply {
+ public:
+  CapacitorSupply(const HarvestSource& source, CapacitorConfig cfg = {})
+      : source_(source), cfg_(cfg) {
+    energy_ = energy_at(cfg_.v_on);  // starts charged to the boot threshold
+  }
+
+  bool consume(double joules, double dt) override {
+    // Harvest income accrues over the same window the load draws.
+    energy_ = std::min(energy_ + source_.power_at(now_) * dt, energy_at(cfg_.v_max));
+    now_ += dt;
+    on_time_ += dt;
+    energy_ -= joules;
+    if (energy_ < energy_at(cfg_.v_off)) {
+      energy_ = std::max(energy_, 0.0);
+      on_ = false;
+      ++failures_;
+      return false;
+    }
+    return true;
+  }
+
+  double voltage() const override {
+    return std::sqrt(2.0 * energy_ / cfg_.capacitance_f);
+  }
+
+  bool on() const override { return on_; }
+
+  double recharge_to_on() override {
+    const double t0 = now_;
+    while (energy_ < energy_at(cfg_.v_on)) {
+      energy_ = std::min(energy_ + source_.power_at(now_) * cfg_.recharge_step_s,
+                         energy_at(cfg_.v_max));
+      now_ += cfg_.recharge_step_s;
+      if (now_ - t0 > cfg_.max_off_s) {
+        throw Error("CapacitorSupply: harvester starved (no boot within max_off_s)");
+      }
+    }
+    on_ = true;
+    const double off = now_ - t0;
+    off_time_ += off;
+    return off;
+  }
+
+  double now() const override { return now_; }
+
+  long failures() const { return failures_; }
+  double on_time() const { return on_time_; }
+  double off_time() const { return off_time_; }
+
+  // Usable per-burst energy between the thresholds.
+  double burst_energy() const { return energy_at(cfg_.v_on) - energy_at(cfg_.v_off); }
+
+  const CapacitorConfig& config() const { return cfg_; }
+
+ private:
+  double energy_at(double v) const { return 0.5 * cfg_.capacitance_f * v * v; }
+
+  const HarvestSource& source_;
+  CapacitorConfig cfg_;
+  double energy_ = 0.0;
+  double now_ = 0.0;
+  bool on_ = true;
+  long failures_ = 0;
+  double on_time_ = 0.0;
+  double off_time_ = 0.0;
+};
+
+}  // namespace ehdnn::power

@@ -1,0 +1,81 @@
+// Harvest-source models: the simulation stand-in for the paper's SIGLENT
+// SDG1032X function generator driving an energy harvester (SSIII-D).
+//
+// A source is just power-versus-time; the capacitor supply integrates it.
+// Square/sine profiles mirror what a function generator produces; the
+// trace source replays arbitrary harvest recordings (synthetic RF/solar).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ehdnn::power {
+
+class HarvestSource {
+ public:
+  virtual ~HarvestSource() = default;
+  // Instantaneous harvested power (watts) at absolute time t (seconds).
+  virtual double power_at(double t) const = 0;
+};
+
+class ConstantSource : public HarvestSource {
+ public:
+  explicit ConstantSource(double watts) : watts_(watts) {}
+  double power_at(double) const override { return watts_; }
+
+ private:
+  double watts_;
+};
+
+class SquareSource : public HarvestSource {
+ public:
+  SquareSource(double watts_high, double watts_low, double period_s, double duty)
+      : hi_(watts_high), lo_(watts_low), period_(period_s), duty_(duty) {
+    check(period_ > 0.0 && duty >= 0.0 && duty <= 1.0, "SquareSource: bad parameters");
+  }
+  double power_at(double t) const override {
+    const double phase = std::fmod(t, period_) / period_;
+    return phase < duty_ ? hi_ : lo_;
+  }
+
+ private:
+  double hi_, lo_, period_, duty_;
+};
+
+class SineSource : public HarvestSource {
+ public:
+  SineSource(double mean_watts, double amplitude_watts, double period_s)
+      : mean_(mean_watts), amp_(amplitude_watts), period_(period_s) {
+    check(period_ > 0.0, "SineSource: bad period");
+  }
+  double power_at(double t) const override {
+    const double v = mean_ + amp_ * std::sin(2.0 * std::numbers::pi * t / period_);
+    return v > 0.0 ? v : 0.0;
+  }
+
+ private:
+  double mean_, amp_, period_;
+};
+
+// Replays `samples` (watts) at fixed `sample_dt` spacing, looping.
+class TraceSource : public HarvestSource {
+ public:
+  TraceSource(std::vector<double> samples, double sample_dt)
+      : samples_(std::move(samples)), dt_(sample_dt) {
+    check(!samples_.empty() && dt_ > 0.0, "TraceSource: bad trace");
+  }
+  double power_at(double t) const override {
+    const auto idx =
+        static_cast<std::size_t>(std::fmod(t / dt_, static_cast<double>(samples_.size())));
+    return samples_[idx];
+  }
+
+ private:
+  std::vector<double> samples_;
+  double dt_;
+};
+
+}  // namespace ehdnn::power

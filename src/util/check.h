@@ -1,0 +1,35 @@
+// Lightweight precondition / invariant checking.
+//
+// Library code throws ehdnn::Error on contract violations so that callers
+// (tests, benches, examples) get a diagnosable failure instead of UB. Hot
+// inner loops use plain assert() where the cost of a branch matters.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ehdnn {
+
+// Base error type for all ehdnn failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Throws Error with file:line context when `cond` is false.
+inline void check(bool cond, const std::string& msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                ": check failed: " + msg);
+  }
+}
+
+// Unconditional failure with context (e.g. unreachable switch arms).
+[[noreturn]] inline void fail(const std::string& msg,
+                              std::source_location loc = std::source_location::current()) {
+  throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " + msg);
+}
+
+}  // namespace ehdnn

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "compress/admm.h"
+#include "compress/bcm.h"
+#include "compress/structured.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/simple_layers.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace ehdnn::cmp {
+namespace {
+
+// ---- Table I ---------------------------------------------------------------
+
+struct TableIRow {
+  std::size_t block;
+  std::size_t compressed_bytes;
+  double reduction;
+};
+
+class TableI : public ::testing::TestWithParam<TableIRow> {};
+
+TEST_P(TableI, BcmStorageMatchesPaper) {
+  const auto row = GetParam();
+  // Table I counts 4-byte (float) weights: 512*512*4 = 1048576 bytes. The
+  // byte figures reproduce exactly at bits=32; after RAD's 16-bit
+  // quantization both columns halve and the reduction is unchanged.
+  const std::size_t dense = dense_storage_bytes(512, 512, 32);
+  EXPECT_EQ(dense, 1048576u);
+  const std::size_t bcm = bcm_storage_bytes(512, 512, row.block, 32);
+  EXPECT_EQ(bcm, row.compressed_bytes);
+  EXPECT_EQ(dense / bcm, row.block);
+  const double reduction = 1.0 - static_cast<double>(bcm) / static_cast<double>(dense);
+  EXPECT_NEAR(reduction * 100.0, row.reduction, 0.01);
+  // 16-bit deployment halves both, same ratio.
+  EXPECT_EQ(dense_storage_bytes(512, 512, 16) / bcm_storage_bytes(512, 512, row.block, 16),
+            row.block);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, TableI,
+                         ::testing::Values(TableIRow{16, 65536, 93.75},
+                                           TableIRow{32, 32768, 96.87},
+                                           TableIRow{64, 16384, 98.43},
+                                           TableIRow{128, 8192, 99.21},
+                                           TableIRow{256, 4096, 99.60}));
+
+// ---- BCM projection --------------------------------------------------------
+
+TEST(BcmProjection, ExactForCirculantInput) {
+  // A dense matrix that already is block-circulant projects to itself.
+  Rng rng(1);
+  nn::BcmDense src(16, 16, 8);
+  src.init(rng);
+  const auto w = src.to_dense();
+
+  nn::Dense dense(16, 16);
+  std::copy(w.begin(), w.end(), dense.weights().begin());
+
+  EXPECT_NEAR(bcm_projection_error(dense, 8), 0.0, 1e-6);
+}
+
+TEST(BcmProjection, PreservesMeanOfDiagonals) {
+  nn::Dense dense(4, 4);
+  // Column j constant = j: diagonal means are computable by hand.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) dense.weights()[r * 4 + c] = static_cast<float>(c);
+  }
+  const auto bcm = project_to_bcm(dense, 4);
+  // first_col[d] = mean over c of w[(d+c)%4][c] = mean of {0,1,2,3} = 1.5.
+  for (std::size_t d = 0; d < 4; ++d) EXPECT_NEAR(bcm->first_col(0, 0)[d], 1.5f, 1e-6f);
+}
+
+TEST(BcmProjection, ProjectionIsIdempotent) {
+  Rng rng(2);
+  nn::Dense dense(32, 16);
+  dense.init(rng);
+  const auto once = project_to_bcm(dense, 8);
+
+  nn::Dense redense(32, 16);
+  const auto w = once->to_dense();
+  std::copy(w.begin(), w.end(), redense.weights().begin());
+  const auto twice = project_to_bcm(redense, 8);
+
+  for (std::size_t i = 0; i < once->blocks_out(); ++i) {
+    for (std::size_t j = 0; j < once->blocks_in(); ++j) {
+      auto a = once->first_col(i, j);
+      auto b = twice->first_col(i, j);
+      for (std::size_t t = 0; t < 8; ++t) EXPECT_NEAR(a[t], b[t], 1e-5f);
+    }
+  }
+}
+
+TEST(BcmProjection, ErrorBounded) {
+  Rng rng(3);
+  nn::Dense dense(64, 64);
+  dense.init(rng);
+  const double err = bcm_projection_error(dense, 16);
+  EXPECT_GT(err, 0.0);   // random matrices are not circulant
+  EXPECT_LE(err, 1.01);  // projection cannot be worse than zeroing
+}
+
+TEST(BcmProjection, CopiesBias) {
+  Rng rng(4);
+  nn::Dense dense(8, 8);
+  dense.init(rng);
+  dense.bias()[3] = 0.7f;
+  const auto bcm = project_to_bcm(dense, 8);
+  EXPECT_FLOAT_EQ(bcm->bias()[3], 0.7f);
+}
+
+// ---- structured pruning ----------------------------------------------------
+
+TEST(Structured, TopPositionsKeepsLargest) {
+  nn::Conv2D conv(1, 1, 3, 3);
+  // Position (r,s) weight = r*3+s: top-4 are positions 5,6,7,8.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t s = 0; s < 3; ++s) conv.w(0, 0, r, s) = static_cast<float>(r * 3 + s);
+  }
+  const auto mask = top_positions_mask(conv, 4);
+  for (std::size_t p = 0; p < 9; ++p) EXPECT_EQ(mask[p], p >= 5);
+}
+
+TEST(Structured, ProjectionZeroesPruned) {
+  Rng rng(5);
+  nn::Conv2D conv(2, 3, 5, 5);
+  conv.init(rng);
+  project_shape_sparse(conv, 13);
+  EXPECT_EQ(conv.live_positions(), 13u);
+  EXPECT_NEAR(shape_compression(conv), 25.0 / 13.0, 1e-9);
+  for (std::size_t f = 0; f < 3; ++f) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      for (std::size_t r = 0; r < 5; ++r) {
+        for (std::size_t s = 0; s < 5; ++s) {
+          if (!conv.shape_mask()[r * 5 + s]) EXPECT_EQ(conv.w(f, c, r, s), 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(Structured, CompressionNearTwoForPaperSetting) {
+  // 25 -> 13 live positions is the ~2x CONV compression of Table II.
+  Rng rng(6);
+  nn::Conv2D conv(6, 16, 5, 5);
+  conv.init(rng);
+  project_shape_sparse(conv, 13);
+  EXPECT_NEAR(shape_compression(conv), 1.92, 0.01);
+}
+
+// ---- ADMM ------------------------------------------------------------------
+
+class AdmmFixture : public ::testing::Test {
+ protected:
+  // A small conv classifier on a tiny synthetic task.
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(7);
+    data_ = data::make_mnist_like(*rng_, 120, 60);
+    conv1_ = model_.add<nn::Conv2D>(1, 3, 5, 5);
+    model_.add<nn::ReLU>();
+    model_.add<nn::MaxPool2D>();
+    model_.add<nn::Flatten>();
+    dense_ = model_.add<nn::Dense>(3 * 12 * 12, 10);
+    conv1_->init(*rng_);
+    dense_->init(*rng_);
+    train::FitConfig cfg;
+    cfg.epochs = 2;
+    train::fit(model_, data_.train, cfg, *rng_);
+  }
+
+  std::unique_ptr<Rng> rng_;
+  data::TrainTest data_;
+  nn::Model model_;
+  nn::Conv2D* conv1_ = nullptr;
+  nn::Dense* dense_ = nullptr;
+};
+
+TEST_F(AdmmFixture, ConstraintSatisfiedAfterRun) {
+  AdmmConfig cfg;
+  cfg.keep_positions = 13;
+  cfg.admm_iters = 3;
+  cfg.epochs_per_iter = 1;
+  cfg.finetune_epochs = 1;
+  AdmmPruner pruner(*conv1_, cfg);
+  pruner.run(model_, data_.train, *rng_);
+  EXPECT_EQ(conv1_->live_positions(), 13u);
+  // The short schedules used in tests cannot drive ||W - Z|| to zero, but
+  // ADMM must have *shaped* the weights: re-ranking the finetuned weights
+  // reproduces the shape the projection chose (the selection is stable),
+  // and the violation is finite/sane.
+  EXPECT_LT(pruner.final_violation(), 1.1);
+  EXPECT_EQ(top_positions_mask(*conv1_, 13), conv1_->shape_mask());
+}
+
+TEST_F(AdmmFixture, AccuracyRetainedAfterPruning) {
+  const float before = train::evaluate(model_, data_.test).accuracy;
+  AdmmConfig cfg;
+  cfg.keep_positions = 13;
+  cfg.admm_iters = 2;
+  cfg.epochs_per_iter = 1;
+  cfg.finetune_epochs = 1;
+  AdmmPruner pruner(*conv1_, cfg);
+  pruner.run(model_, data_.train, *rng_);
+  const float after = train::evaluate(model_, data_.test).accuracy;
+  // Structured pruning with ADMM + finetune should not collapse accuracy.
+  EXPECT_GT(after, before - 0.15f);
+}
+
+TEST_F(AdmmFixture, MaskSurvivesFinetuning) {
+  AdmmConfig cfg;
+  cfg.keep_positions = 9;
+  cfg.admm_iters = 1;
+  cfg.epochs_per_iter = 1;
+  cfg.finetune_epochs = 2;
+  AdmmPruner pruner(*conv1_, cfg);
+  pruner.run(model_, data_.train, *rng_);
+  for (std::size_t f = 0; f < conv1_->out_channels(); ++f) {
+    for (std::size_t r = 0; r < 5; ++r) {
+      for (std::size_t s = 0; s < 5; ++s) {
+        if (!conv1_->shape_mask()[r * 5 + s]) EXPECT_EQ(conv1_->w(f, 0, r, s), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(BcmStorage, PadsRaggedInputs) {
+  // 3456 with k=256 pads to 3584: 14 block columns, 2 block rows.
+  const std::size_t b = bcm_storage_bytes(512, 3456, 256, 16);
+  EXPECT_EQ(b, 2u * 14u * 256u * 2u);
+}
+
+}  // namespace
+}  // namespace ehdnn::cmp

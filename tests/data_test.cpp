@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+#include "nn/simple_layers.h"
+#include "train/trainer.h"
+
+namespace ehdnn::data {
+namespace {
+
+TEST(MnistLike, ShapesAndClasses) {
+  Rng rng(1);
+  const auto tt = make_mnist_like(rng, 50, 20);
+  EXPECT_EQ(tt.train.size(), 50u);
+  EXPECT_EQ(tt.test.size(), 20u);
+  EXPECT_EQ(tt.train.num_classes, 10u);
+  EXPECT_EQ(tt.train.sample_shape, (std::vector<std::size_t>{1, 28, 28}));
+  for (const auto& x : tt.train.x) EXPECT_EQ(x.size(), 784u);
+}
+
+TEST(MnistLike, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  const auto ta = make_mnist_like(a, 10, 5);
+  const auto tb = make_mnist_like(b, 10, 5);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(ta.train.y[i], tb.train.y[i]);
+    for (std::size_t j = 0; j < 784; ++j) EXPECT_EQ(ta.train.x[i][j], tb.train.x[i][j]);
+  }
+}
+
+TEST(MnistLike, ValuesInNormalizedRange) {
+  Rng rng(2);
+  const auto tt = make_mnist_like(rng, 30, 1);
+  for (const auto& x : tt.train.x) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_GE(x[i], -1.0f);
+      EXPECT_LE(x[i], 1.0f);
+    }
+  }
+}
+
+TEST(HarLike, ShapesAndClasses) {
+  Rng rng(3);
+  const auto tt = make_har_like(rng, 40, 10);
+  EXPECT_EQ(tt.train.num_classes, 6u);
+  EXPECT_EQ(tt.train.sample_shape, (std::vector<std::size_t>{1, 121}));
+  for (const auto& x : tt.train.x) EXPECT_EQ(x.size(), 121u);
+}
+
+TEST(HarLike, ValuesInNormalizedRange) {
+  Rng rng(4);
+  const auto tt = make_har_like(rng, 30, 1);
+  for (const auto& x : tt.train.x) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_GE(x[i], -1.0f);
+      EXPECT_LE(x[i], 1.0f);
+    }
+  }
+}
+
+TEST(OkgLike, ShapesAndClasses) {
+  Rng rng(5);
+  const auto tt = make_okg_like(rng, 40, 10);
+  EXPECT_EQ(tt.train.num_classes, 12u);
+  EXPECT_EQ(tt.train.sample_shape, (std::vector<std::size_t>{1, 28, 28}));
+}
+
+TEST(AllGenerators, ClassesReasonablyBalanced) {
+  Rng rng(6);
+  const auto tt = make_mnist_like(rng, 600, 1);
+  std::vector<int> counts(10, 0);
+  for (int y : tt.train.y) ++counts[static_cast<std::size_t>(y)];
+  for (int c : counts) {
+    EXPECT_GT(c, 25);  // expectation 60, loose binomial bound
+    EXPECT_LT(c, 120);
+  }
+}
+
+TEST(HarLike, LearnableAboveChance) {
+  // A small linear probe learns the frequency signatures well above the
+  // 1/6 chance level — sanity that the task carries class signal.
+  Rng rng(7);
+  const auto tt = make_har_like(rng, 300, 100);
+  nn::Model m;
+  m.add<nn::Conv1D>(1, 8, 12)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::Flatten>();
+  m.add<nn::Dense>(8 * 110, 6)->init(rng);
+  train::FitConfig cfg;
+  cfg.epochs = 3;
+  cfg.sgd.lr = 0.02f;
+  train::fit(m, tt.train, cfg, rng);
+  EXPECT_GT(train::evaluate(m, tt.test).accuracy, 0.4f);
+}
+
+TEST(MnistLike, LearnableAboveChance) {
+  Rng rng(8);
+  const auto tt = make_mnist_like(rng, 300, 100);
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 4, 5, 5)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::MaxPool2D>();
+  m.add<nn::Flatten>();
+  m.add<nn::Dense>(4 * 12 * 12, 10)->init(rng);
+  train::FitConfig cfg;
+  cfg.epochs = 3;
+  cfg.sgd.lr = 0.02f;
+  train::fit(m, tt.train, cfg, rng);
+  EXPECT_GT(train::evaluate(m, tt.test).accuracy, 0.4f);
+}
+
+}  // namespace
+}  // namespace ehdnn::data

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/circulant.h"
+#include "dsp/fft.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ehdnn::dsp {
+namespace {
+
+using fx::cq15;
+using fx::q15_t;
+
+std::vector<std::complex<double>> random_signal(std::size_t n, Rng& rng, double amp = 1.0) {
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {rng.uniform(-amp, amp), rng.uniform(-amp, amp)};
+  return x;
+}
+
+// ---- double-precision FFT --------------------------------------------------
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  auto x = random_signal(n, rng);
+  const auto ref = dft_naive(x);
+  fft(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), ref[i].real(), 1e-9 * static_cast<double>(n));
+    EXPECT_NEAR(x[i].imag(), ref[i].imag(), 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizes, IfftInvertsFft) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  auto x = random_signal(n, rng);
+  const auto orig = x;
+  fft(x);
+  ifft(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-10 * static_cast<double>(n));
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-10 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 2);
+  auto x = random_signal(n, rng);
+  double time_e = 0.0;
+  for (const auto& v : x) time_e += std::norm(v);
+  fft(x);
+  double freq_e = 0.0;
+  for (const auto& v : x) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e / static_cast<double>(n), time_e, 1e-8 * time_e);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u));
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(6);
+  EXPECT_THROW(fft(x), Error);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> x(16, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+// ---- Q15 FFT ---------------------------------------------------------------
+
+class QFftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QFftSizes, FixedScaleMatchesScaledDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 3);
+  std::vector<cq15> q(n);
+  std::vector<std::complex<double>> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = rng.uniform(-0.9, 0.9);
+    const double im = rng.uniform(-0.9, 0.9);
+    q[i] = {fx::to_q15(re), fx::to_q15(im)};
+    d[i] = {fx::to_double(q[i].re), fx::to_double(q[i].im)};
+  }
+  const auto ref = dft_naive(d);
+  fx::SatStats stats;
+  const int exp = fft_q15(q, FftScaling::kFixedScale, &stats);
+  EXPECT_EQ(exp, static_cast<int>(std::log2(n)));
+  EXPECT_EQ(stats.saturations, 0);  // fixed scaling cannot overflow
+  const double scale = std::exp2(exp);
+  // Error budget: ~1 LSB per stage relative to the scaled output.
+  const double tol = (std::log2(n) + 2.0) / 32768.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fx::to_double(q[i].re) * scale, ref[i].real(), tol * scale);
+    EXPECT_NEAR(fx::to_double(q[i].im) * scale, ref[i].imag(), tol * scale);
+  }
+}
+
+TEST_P(QFftSizes, BlockFloatMatchesScaledDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 5);
+  std::vector<cq15> q(n);
+  std::vector<std::complex<double>> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Small signals: BFP should take few shifts and keep precision.
+    const double re = rng.uniform(-0.05, 0.05);
+    const double im = rng.uniform(-0.05, 0.05);
+    q[i] = {fx::to_q15(re), fx::to_q15(im)};
+    d[i] = {fx::to_double(q[i].re), fx::to_double(q[i].im)};
+  }
+  const auto ref = dft_naive(d);
+  fx::SatStats stats;
+  const int exp = fft_q15(q, FftScaling::kBlockFloat, &stats);
+  EXPECT_EQ(stats.saturations, 0);
+  EXPECT_LE(exp, static_cast<int>(std::log2(n)));
+  const double scale = std::exp2(exp);
+  const double tol = (std::log2(n) + 2.0) / 32768.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fx::to_double(q[i].re) * scale, ref[i].real(), tol * scale);
+  }
+}
+
+TEST_P(QFftSizes, IfftInvertsWithinQuantization) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7);
+  std::vector<cq15> q(n);
+  std::vector<double> orig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = {fx::to_q15(rng.uniform(-0.8, 0.8)), 0};
+    orig[i] = fx::to_double(q[i].re);
+  }
+  fx::SatStats stats;
+  int exp = fft_q15(q, FftScaling::kBlockFloat, &stats);
+  exp += ifft_q15(q, FftScaling::kBlockFloat, &stats);
+  EXPECT_EQ(stats.saturations, 0);
+  const double scale = std::exp2(exp);
+  const double tol = 4.0 * (std::log2(n) + 2.0) / 32768.0 * std::max(1.0, scale);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fx::to_double(q[i].re) * scale, orig[i], tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, QFftSizes,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u, 256u));
+
+TEST(QFft, UnscaledSaturatesOnLargeInput) {
+  // Full-scale DC input: the unscaled FFT must clip (the overflow failure
+  // mode Algorithm 1's SCALE-DOWN exists to prevent).
+  std::vector<cq15> q(64, cq15{fx::to_q15(0.9), 0});
+  fx::SatStats stats;
+  fft_q15(q, FftScaling::kNone, &stats);
+  EXPECT_GT(stats.saturations, 0);
+}
+
+TEST(QFft, TwiddleTableQuantizesUnitCircle) {
+  const auto& tw = twiddles_q15(64);
+  ASSERT_EQ(tw.size(), 32u);
+  EXPECT_EQ(tw[0].re, fx::kQ15Max);  // cos(0)=1 saturates to q15 max
+  EXPECT_EQ(tw[0].im, 0);
+  for (const auto& w : tw) {
+    const double mag = std::hypot(fx::to_double(w.re), fx::to_double(w.im));
+    EXPECT_NEAR(mag, 1.0, 2e-4);
+  }
+}
+
+// ---- circulant -------------------------------------------------------------
+
+class CirculantSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CirculantSizes, FftMatvecMatchesNaive) {
+  const std::size_t k = GetParam();
+  Rng rng(k * 11);
+  std::vector<double> c(k), x(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    c[i] = rng.uniform(-1.0, 1.0);
+    x[i] = rng.uniform(-1.0, 1.0);
+  }
+  const auto ref = circ_conv_ref(c, x);
+  const auto got = circulant_matvec(c, x);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_NEAR(got[i], ref[i], 1e-9 * static_cast<double>(k));
+}
+
+TEST_P(CirculantSizes, Q15MatvecMatchesDouble) {
+  const std::size_t k = GetParam();
+  Rng rng(k * 13);
+  std::vector<q15_t> c(k), x(k);
+  std::vector<double> cd(k), xd(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Magnitudes typical of trained, normalized weights/activations.
+    c[i] = fx::to_q15(rng.uniform(-0.1, 0.1));
+    x[i] = fx::to_q15(rng.uniform(-0.5, 0.5));
+    cd[i] = fx::to_double(c[i]);
+    xd[i] = fx::to_double(x[i]);
+  }
+  const auto ref = circ_conv_ref(cd, xd);
+  fx::SatStats stats;
+  const auto scaled = circulant_matvec_q15(c, x, FftScaling::kBlockFloat, &stats);
+  EXPECT_EQ(stats.saturations, 0);
+  const auto got = narrow(scaled, &stats);
+  // Block-float error: a few LSB at the output scale.
+  const double tol = 16.0 * std::exp2(std::max(0, scaled.exponent)) / 32768.0 +
+                     8.0 * std::log2(static_cast<double>(k)) / 32768.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(fx::to_double(got[i]), ref[i], tol) << "i=" << i << " k=" << k;
+  }
+}
+
+TEST_P(CirculantSizes, FixedScaleCoarserButUnbiased) {
+  const std::size_t k = GetParam();
+  Rng rng(k * 17);
+  std::vector<q15_t> c(k), x(k);
+  std::vector<double> cd(k), xd(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    c[i] = fx::to_q15(rng.uniform(-0.1, 0.1));
+    x[i] = fx::to_q15(rng.uniform(-0.5, 0.5));
+    cd[i] = fx::to_double(c[i]);
+    xd[i] = fx::to_double(x[i]);
+  }
+  const auto ref = circ_conv_ref(cd, xd);
+  const auto scaled = circulant_matvec_q15(c, x, FftScaling::kFixedScale);
+  // Paper Algorithm 1: exponent is exactly 2*log2(k) (SCALE-DOWN twice).
+  EXPECT_EQ(scaled.exponent, 2 * static_cast<int>(std::log2(k)));
+  const auto got = narrow(scaled);
+  // Resolution after SCALE-UP is 2^exponent LSBs — the quantization cost
+  // of fixed scaling that limits large block sizes (paper SSIV-A.4).
+  // Per-stage rounding accumulates a few grid steps on top.
+  const double tol = 4.0 * std::exp2(scaled.exponent) / 32768.0;
+  for (std::size_t i = 0; i < k; ++i) EXPECT_NEAR(fx::to_double(got[i]), ref[i], tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, CirculantSizes,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u, 256u));
+
+TEST(Circulant, IdentityFirstColumn) {
+  // c = e0 makes C the identity.
+  std::vector<double> c(16, 0.0), x(16);
+  c[0] = 1.0;
+  Rng rng(3);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto y = circulant_matvec(c, x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(Circulant, ShiftFirstColumnRotates) {
+  // c = e1 rotates x by one position.
+  std::vector<double> c(8, 0.0), x{1, 2, 3, 4, 5, 6, 7, 8};
+  c[1] = 1.0;
+  const auto y = circulant_matvec(c, x);
+  EXPECT_NEAR(y[0], 8.0, 1e-12);
+  EXPECT_NEAR(y[1], 1.0, 1e-12);
+  EXPECT_NEAR(y[7], 7.0, 1e-12);
+}
+
+TEST(Circulant, RefRejectsSizeMismatch) {
+  std::vector<double> c(8), x(4);
+  EXPECT_THROW(circ_conv_ref(c, x), Error);
+}
+
+TEST(Circulant, NarrowAppliesExponent) {
+  ScaledVecQ15 v;
+  v.data = {100, -100};
+  v.exponent = 3;
+  const auto out = narrow(v);
+  EXPECT_EQ(out[0], 800);
+  EXPECT_EQ(out[1], -800);
+}
+
+}  // namespace
+}  // namespace ehdnn::dsp

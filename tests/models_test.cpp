@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "compress/structured.h"
+#include "models/zoo.h"
+#include "nn/bcm_dense.h"
+#include "nn/conv.h"
+#include "util/rng.h"
+
+namespace ehdnn::models {
+namespace {
+
+TEST(Zoo, MnistShapesMatchTableII) {
+  Rng rng(1);
+  ModelInfo info;
+  nn::Model m = make_mnist_model(rng, &info);
+  EXPECT_EQ(info.input_shape, (std::vector<std::size_t>{1, 28, 28}));
+  const auto out = m.output_shape(info.input_shape);
+  EXPECT_EQ(out, (std::vector<std::size_t>{10}));
+
+  auto* c2 = dynamic_cast<nn::Conv2D*>(&m.layer(3));
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c2->out_channels(), 16u);  // Conv 16x6x5x5
+  EXPECT_EQ(c2->in_channels(), 6u);
+
+  auto* f1 = dynamic_cast<nn::BcmDense*>(&m.layer(7));
+  ASSERT_NE(f1, nullptr);
+  EXPECT_EQ(f1->in_features(), 256u);  // FC 256x256, BCM 128x
+  EXPECT_EQ(f1->out_features(), 256u);
+  EXPECT_EQ(f1->block_size(), 128u);
+}
+
+TEST(Zoo, HarShapesMatchTableII) {
+  Rng rng(2);
+  ModelInfo info;
+  nn::Model m = make_har_model(rng, &info);
+  EXPECT_EQ(info.input_shape, (std::vector<std::size_t>{1, 121}));
+  EXPECT_EQ(m.output_shape(info.input_shape), (std::vector<std::size_t>{6}));
+
+  auto* f1 = dynamic_cast<nn::BcmDense*>(&m.layer(3));
+  ASSERT_NE(f1, nullptr);
+  EXPECT_EQ(f1->in_features(), 3520u);  // FC 3520x128, BCM 128x
+  EXPECT_EQ(f1->out_features(), 128u);
+  EXPECT_EQ(f1->block_size(), 128u);
+
+  auto* f2 = dynamic_cast<nn::BcmDense*>(&m.layer(5));
+  ASSERT_NE(f2, nullptr);
+  EXPECT_EQ(f2->block_size(), 64u);  // FC 128x64, BCM 64x
+}
+
+TEST(Zoo, OkgShapesMatchTableII) {
+  Rng rng(3);
+  ModelInfo info;
+  nn::Model m = make_okg_model(rng, &info);
+  EXPECT_EQ(m.output_shape(info.input_shape), (std::vector<std::size_t>{12}));
+
+  auto* f1 = dynamic_cast<nn::BcmDense*>(&m.layer(3));
+  ASSERT_NE(f1, nullptr);
+  EXPECT_EQ(f1->in_features(), 3456u);  // FC 3456x512, BCM 256x
+  EXPECT_EQ(f1->out_features(), 512u);
+  EXPECT_EQ(f1->block_size(), 256u);
+
+  auto* f2 = dynamic_cast<nn::BcmDense*>(&m.layer(5));
+  ASSERT_NE(f2, nullptr);
+  EXPECT_EQ(f2->block_size(), 128u);
+  auto* f3 = dynamic_cast<nn::BcmDense*>(&m.layer(7));
+  ASSERT_NE(f3, nullptr);
+  EXPECT_EQ(f3->block_size(), 64u);
+}
+
+TEST(Zoo, CompressionRatiosMatchTableII) {
+  Rng rng(4);
+  nn::Model m = make_mnist_model(rng);
+  auto* f1 = dynamic_cast<nn::BcmDense*>(&m.layer(7));
+  ASSERT_NE(f1, nullptr);
+  // BCM 128x: stored weights = 256*256/128.
+  EXPECT_EQ(f1->stored_weights() - f1->bias().size(), 256u * 256u / 128u);
+
+  auto* c2 = dynamic_cast<nn::Conv2D*>(&m.layer(3));
+  ASSERT_NE(c2, nullptr);
+  cmp::project_shape_sparse(*c2, 13);
+  EXPECT_NEAR(cmp::shape_compression(*c2), 2.0, 0.1);  // "2x" in Table II
+}
+
+TEST(Zoo, DenseTwinsHaveSameTopologyWithoutCompression) {
+  Rng rng(5);
+  nn::Model comp = make_okg_model(rng);
+  nn::Model dense = make_okg_dense(rng);
+  EXPECT_EQ(comp.layer_count(), dense.layer_count());
+  EXPECT_GT(dense.stored_weights(), comp.stored_weights() * 50);  // BCM shrinks a lot
+  EXPECT_EQ(dense.output_shape({1, 28, 28}), comp.output_shape({1, 28, 28}));
+}
+
+TEST(Zoo, ForwardRunsOnAllModels) {
+  Rng rng(6);
+  for (Task t : {Task::kMnist, Task::kHar, Task::kOkg}) {
+    ModelInfo info;
+    nn::Model m = make_model(t, rng, &info);
+    nn::Tensor x(info.input_shape);
+    const nn::Tensor y = m.forward(x);
+    EXPECT_EQ(y.size(), info.num_classes) << task_name(t);
+
+    nn::Model d = make_dense_model(t, rng);
+    EXPECT_EQ(d.forward(x).size(), info.num_classes);
+  }
+}
+
+TEST(Zoo, LeNet5Forward) {
+  Rng rng(7);
+  nn::Model m = make_lenet5(rng);
+  nn::Tensor x({1, 28, 28});
+  EXPECT_EQ(m.forward(x).size(), 10u);
+}
+
+TEST(Zoo, TaskNames) {
+  EXPECT_STREQ(task_name(Task::kMnist), "MNIST");
+  EXPECT_STREQ(task_name(Task::kHar), "HAR");
+  EXPECT_STREQ(task_name(Task::kOkg), "OKG");
+}
+
+}  // namespace
+}  // namespace ehdnn::models

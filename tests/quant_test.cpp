@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <sstream>
+
+#include "data/dataset.h"
+#include "quant/qserial.h"
+#include "train/trainer.h"
+#include "nn/bcm_dense.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+#include "nn/simple_layers.h"
+#include "quant/qexec.h"
+#include "quant/quantize.h"
+#include "util/rng.h"
+
+namespace ehdnn::quant {
+namespace {
+
+nn::Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng, double amp = 0.9) {
+  nn::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-amp, amp));
+  }
+  return t;
+}
+
+std::vector<nn::Tensor> calib_set(const std::vector<std::size_t>& shape, Rng& rng, int n = 8) {
+  std::vector<nn::Tensor> v;
+  for (int i = 0; i < n; ++i) v.push_back(random_tensor(shape, rng));
+  return v;
+}
+
+// Compare quantized prediction against the float model.
+void expect_close(nn::Model& model, const QuantModel& qm, const nn::Tensor& x, double tol) {
+  const nn::Tensor fy = model.forward(x);
+  const auto qy = qpredict(qm, x);
+  ASSERT_EQ(fy.size(), qy.size());
+  for (std::size_t i = 0; i < fy.size(); ++i) {
+    EXPECT_NEAR(qy[i], fy[i], tol) << "output " << i;
+  }
+}
+
+TEST(Quantize, DenseMatchesFloat) {
+  Rng rng(1);
+  nn::Model m;
+  m.add<nn::Dense>(16, 8)->init(rng);
+  const auto calib = calib_set({16}, rng);
+  const auto qm = quantize(m, calib, {16});
+  for (int t = 0; t < 10; ++t) expect_close(m, qm, random_tensor({16}, rng), 0.02);
+}
+
+TEST(Quantize, ConvReluPoolPipelineMatchesFloat) {
+  Rng rng(2);
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 3, 3, 3)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::MaxPool2D>();
+  m.add<nn::Flatten>();
+  m.add<nn::Dense>(3 * 3 * 3, 4)->init(rng);
+  const auto calib = calib_set({1, 8, 8}, rng);
+  const auto qm = quantize(m, calib, {1, 8, 8});
+  for (int t = 0; t < 10; ++t) expect_close(m, qm, random_tensor({1, 8, 8}, rng), 0.05);
+}
+
+TEST(Quantize, Conv1DMatchesFloat) {
+  Rng rng(3);
+  nn::Model m;
+  m.add<nn::Conv1D>(1, 4, 5)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::Flatten>();
+  m.add<nn::Dense>(4 * 12, 3)->init(rng);
+  const auto calib = calib_set({1, 16}, rng);
+  const auto qm = quantize(m, calib, {1, 16});
+  for (int t = 0; t < 10; ++t) expect_close(m, qm, random_tensor({1, 16}, rng), 0.05);
+}
+
+class BcmQuant : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BcmQuant, BcmMatchesFloatWithBlockFloat) {
+  const std::size_t k = GetParam();
+  Rng rng(4 + k);
+  nn::Model m;
+  m.add<nn::BcmDense>(2 * k, k, k)->init(rng);
+  const auto calib = calib_set({2 * k}, rng);
+  const auto qm = quantize(m, calib, {2 * k});
+  QExecOptions opts;
+  opts.fft_scaling = dsp::FftScaling::kBlockFloat;
+  for (int t = 0; t < 5; ++t) {
+    const nn::Tensor x = random_tensor({2 * k}, rng);
+    const nn::Tensor fy = m.forward(x);
+    const auto qin = quantize_input(qm, x);
+    const auto qy = qforward(qm, qin, opts);
+    const double scale = std::exp2(qm.layers.back().out_exp);
+    for (std::size_t i = 0; i < fy.size(); ++i) {
+      EXPECT_NEAR(fx::to_double(qy[i]) * scale, fy[i], 0.05) << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BcmQuant, ::testing::Values(8u, 16u, 32u, 64u));
+
+TEST(Quantize, FixedScaleCoarserThanBlockFloat) {
+  // Algorithm 1's fixed scaling costs precision that grows with k; block
+  // floating point tracks the float model much more closely.
+  const std::size_t k = 64;
+  Rng rng(9);
+  nn::Model m;
+  m.add<nn::BcmDense>(k, k, k)->init(rng);
+  const auto calib = calib_set({k}, rng);
+  const auto qm = quantize(m, calib, {k});
+
+  double err_fixed = 0.0, err_bfp = 0.0;
+  for (int t = 0; t < 20; ++t) {
+    const nn::Tensor x = random_tensor({k}, rng);
+    const nn::Tensor fy = m.forward(x);
+    QExecOptions fo;
+    fo.fft_scaling = dsp::FftScaling::kFixedScale;
+    QExecOptions bo;
+    bo.fft_scaling = dsp::FftScaling::kBlockFloat;
+    const auto fyq = qpredict(qm, x, fo);
+    const auto byq = qpredict(qm, x, bo);
+    for (std::size_t i = 0; i < fy.size(); ++i) {
+      err_fixed += std::abs(fyq[i] - fy[i]);
+      err_bfp += std::abs(byq[i] - fy[i]);
+    }
+  }
+  EXPECT_LT(err_bfp, err_fixed);
+}
+
+TEST(Quantize, OverflowUnawareBreaksLargeSignals) {
+  // With overflow awareness off the unscaled FFT saturates and the result
+  // diverges — the failure Algorithm 1 prevents.
+  const std::size_t k = 32;
+  Rng rng(10);
+  nn::Model m;
+  auto* bcm = m.add<nn::BcmDense>(k, k, k);
+  bcm->init(rng);
+  // Inflate weights so spectra are large.
+  for (auto& p : bcm->params()) {
+    for (auto& w : p.value) w *= 8.0f;
+  }
+  const auto calib = calib_set({k}, rng);
+  const auto qm = quantize(m, calib, {k});
+
+  fx::SatStats sat_on, sat_off;
+  QExecOptions on;
+  on.stats = &sat_on;
+  QExecOptions off;
+  off.overflow_aware = false;
+  off.stats = &sat_off;
+  const nn::Tensor x = random_tensor({k}, rng);
+  const auto qin = quantize_input(qm, x);
+  (void)qforward(qm, qin, on);
+  (void)qforward(qm, qin, off);
+  EXPECT_EQ(sat_on.saturations, 0);
+  EXPECT_GT(sat_off.saturations, 0);
+}
+
+TEST(Quantize, WeightExponentTightensForSmallWeights) {
+  Rng rng(11);
+  nn::Model m;
+  auto* d = m.add<nn::Dense>(8, 4);
+  d->init(rng);
+  for (auto& p : d->params()) {
+    for (auto& w : p.value) w *= 0.01f;  // tiny weights
+  }
+  const auto calib = calib_set({8}, rng);
+  const auto qm = quantize(m, calib, {8});
+  EXPECT_LT(qm.layers[0].w_exp, 0);  // negative exponent = more precision
+}
+
+TEST(Quantize, ActivationExponentCoversRange) {
+  Rng rng(12);
+  nn::Model m;
+  auto* d = m.add<nn::Dense>(8, 4);
+  d->init(rng);
+  for (auto& p : d->params()) {
+    for (auto& w : p.value) w *= 10.0f;  // outputs well beyond [-1,1]
+  }
+  const auto calib = calib_set({8}, rng);
+  const auto qm = quantize(m, calib, {8});
+  EXPECT_GT(qm.layers[0].out_exp, 0);
+  // The executor tracks the float model up to the calibrated representable
+  // range: outputs beyond calibration-max * headroom saturate cleanly.
+  const double limit = std::exp2(qm.layers[0].out_exp);
+  for (int t = 0; t < 5; ++t) {
+    const nn::Tensor x = random_tensor({8}, rng);
+    const nn::Tensor fy = m.forward(x);
+    const auto qy = qpredict(qm, x);
+    for (std::size_t i = 0; i < fy.size(); ++i) {
+      const double clamped = std::clamp(static_cast<double>(fy[i]), -limit, limit);
+      EXPECT_NEAR(qy[i], clamped, 0.25) << "output " << i;
+    }
+  }
+}
+
+TEST(Quantize, ScalePreservingLayersKeepExponent) {
+  Rng rng(13);
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::MaxPool2D>();
+  const auto calib = calib_set({1, 6, 6}, rng);
+  const auto qm = quantize(m, calib, {1, 6, 6});
+  EXPECT_EQ(qm.layers[1].out_exp, qm.layers[0].out_exp);
+  EXPECT_EQ(qm.layers[2].out_exp, qm.layers[1].out_exp);
+}
+
+TEST(Quantize, RejectsCosineDense) {
+  Rng rng(14);
+  nn::Model m;
+  m.add<nn::CosineDense>(8, 4)->init(rng);
+  const auto calib = calib_set({8}, rng);
+  EXPECT_THROW(quantize(m, calib, {8}), Error);
+}
+
+TEST(QModel, WeightAndActivationAccounting) {
+  Rng rng(15);
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
+  m.add<nn::Flatten>();
+  m.add<nn::Dense>(2 * 4 * 4, 5)->init(rng);
+  const auto calib = calib_set({1, 6, 6}, rng);
+  const auto qm = quantize(m, calib, {1, 6, 6});
+  // conv weights 2*1*3*3 + bias 2; dense 32*5 + 5.
+  EXPECT_EQ(qm.weight_words(), 18u + 2u + 160u + 5u);
+  // Largest activation: conv output 2*4*4 = 32 vs input 36 -> 36.
+  EXPECT_EQ(qm.max_activation_words(), 36u);
+}
+
+TEST(QModel, DenseGuardShift) {
+  EXPECT_EQ(dense_guard_shift(1), 0);
+  EXPECT_EQ(dense_guard_shift(2), 1);
+  EXPECT_EQ(dense_guard_shift(512), 9);
+  EXPECT_EQ(dense_guard_shift(3520), 12);
+}
+
+TEST(QModel, StructuredPruningCarriesIntoQLayer) {
+  Rng rng(16);
+  nn::Model m;
+  auto* conv = m.add<nn::Conv2D>(1, 2, 5, 5);
+  conv->init(rng);
+  std::vector<bool> mask(25, false);
+  for (std::size_t i = 0; i < 13; ++i) mask[i] = true;
+  conv->set_shape_mask(mask);
+  const auto calib = calib_set({1, 8, 8}, rng);
+  const auto qm = quantize(m, calib, {1, 8, 8});
+  EXPECT_EQ(qm.layers[0].live_positions(), 13u);
+}
+
+TEST(QSerial, RoundTripPreservesModelAndOutputs) {
+  Rng rng(18);
+  nn::Model m;
+  auto* conv = m.add<nn::Conv2D>(1, 2, 5, 5);
+  conv->init(rng);
+  std::vector<bool> mask(25, false);
+  for (std::size_t i = 0; i < 13; ++i) mask[i] = true;
+  conv->set_shape_mask(mask);
+  m.add<nn::ReLU>();
+  m.add<nn::Flatten>();
+  m.add<nn::BcmDense>(2 * 8 * 8, 16, 16)->init(rng);
+  m.add<nn::Dense>(16, 4)->init(rng);
+  const auto calib = calib_set({1, 12, 12}, rng);
+  const auto qm = quantize(m, calib, {1, 12, 12});
+
+  std::stringstream buf;
+  save_qmodel(qm, buf);
+  const auto back = load_qmodel(buf);
+
+  ASSERT_EQ(back.layers.size(), qm.layers.size());
+  EXPECT_EQ(back.input_exp, qm.input_exp);
+  for (std::size_t l = 0; l < qm.layers.size(); ++l) {
+    EXPECT_EQ(back.layers[l].kind, qm.layers[l].kind);
+    EXPECT_EQ(back.layers[l].weights, qm.layers[l].weights);
+    EXPECT_EQ(back.layers[l].bias, qm.layers[l].bias);
+    EXPECT_EQ(back.layers[l].w_exp, qm.layers[l].w_exp);
+    EXPECT_EQ(back.layers[l].out_exp, qm.layers[l].out_exp);
+    EXPECT_EQ(back.layers[l].shape_mask, qm.layers[l].shape_mask);
+  }
+  // Behavioral equivalence, bit for bit.
+  const nn::Tensor x = random_tensor({1, 12, 12}, rng);
+  const auto qin = quantize_input(qm, x);
+  EXPECT_EQ(qforward(qm, qin), qforward(back, qin));
+}
+
+TEST(QSerial, RejectsGarbage) {
+  std::stringstream buf;
+  buf << "not a model";
+  EXPECT_THROW(load_qmodel(buf), Error);
+}
+
+TEST(Quantize, AccuracyPreservedOnRealTask) {
+  // End-to-end: a trained classifier keeps its accuracy through 16-bit
+  // quantization (the paper's claim that b=16 costs ~nothing).
+  Rng rng(17);
+  auto tt = data::make_mnist_like(rng, 250, 120);
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 4, 5, 5)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::MaxPool2D>();
+  m.add<nn::Flatten>();
+  m.add<nn::Dense>(4 * 12 * 12, 10)->init(rng);
+  train::FitConfig cfg;
+  cfg.epochs = 3;
+  train::fit(m, tt.train, cfg, rng);
+  const float facc = train::evaluate(m, tt.test).accuracy;
+
+  std::vector<nn::Tensor> calib(tt.train.x.begin(), tt.train.x.begin() + 32);
+  const auto qm = quantize(m, calib, {1, 28, 28});
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < tt.test.size(); ++i) {
+    const auto logits = qpredict(qm, tt.test.x[i]);
+    const auto it = std::max_element(logits.begin(), logits.end());
+    if (static_cast<int>(it - logits.begin()) == tt.test.y[i]) ++correct;
+  }
+  const float qacc = static_cast<float>(correct) / static_cast<float>(tt.test.size());
+  EXPECT_GT(qacc, facc - 0.05f);
+}
+
+}  // namespace
+}  // namespace ehdnn::quant

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+#include "nn/simple_layers.h"
+#include "train/loss.h"
+#include "train/sgd.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace ehdnn::train {
+namespace {
+
+TEST(Softmax, SumsToOne) {
+  std::vector<float> logits{1.0f, 2.0f, 3.0f};
+  const auto p = softmax(logits);
+  float sum = 0.0f;
+  for (float v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  std::vector<float> logits{1000.0f, 1001.0f};
+  const auto p = softmax(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-6f);
+}
+
+TEST(CrossEntropy, GradientIsPMinusOneHot) {
+  nn::Tensor logits({3});
+  logits[0] = 0.5f;
+  logits[1] = -0.2f;
+  logits[2] = 1.0f;
+  const auto lg = cross_entropy(logits, 1);
+  const auto p = softmax(logits.data());
+  EXPECT_NEAR(lg.grad[0], p[0], 1e-6f);
+  EXPECT_NEAR(lg.grad[1], p[1] - 1.0f, 1e-6f);
+  EXPECT_NEAR(lg.grad[2], p[2], 1e-6f);
+  EXPECT_NEAR(lg.loss, -std::log(p[1]), 1e-5f);
+}
+
+TEST(CrossEntropy, NumericGradient) {
+  Rng rng(5);
+  nn::Tensor logits({4});
+  for (std::size_t i = 0; i < 4; ++i) logits[i] = static_cast<float>(rng.uniform(-2, 2));
+  const auto lg = cross_entropy(logits, 2);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < 4; ++i) {
+    nn::Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const double num =
+        (cross_entropy(lp, 2).loss - cross_entropy(lm, 2).loss) / (2.0 * eps);
+    EXPECT_NEAR(lg.grad[i], num, 1e-3);
+  }
+}
+
+TEST(Argmax, PicksLargest) {
+  std::vector<float> v{0.1f, 0.9f, 0.3f};
+  EXPECT_EQ(argmax(v), 1);
+}
+
+// A deterministic 2-class linearly separable task.
+data::Dataset toy_task(Rng& rng, std::size_t n) {
+  data::Dataset d;
+  d.num_classes = 2;
+  d.sample_shape = {4};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.below(2));
+    nn::Tensor t({4});
+    for (std::size_t j = 0; j < 4; ++j) {
+      t[j] = static_cast<float>((cls == 0 ? 0.5 : -0.5) + 0.2 * rng.gauss());
+    }
+    d.x.push_back(std::move(t));
+    d.y.push_back(cls);
+  }
+  return d;
+}
+
+TEST(Sgd, StepReducesLossOnToyTask) {
+  Rng rng(7);
+  nn::Model m;
+  m.add<nn::Dense>(4, 2)->init(rng);
+  const auto ds = toy_task(rng, 64);
+
+  auto loss_of = [&] {
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      sum += cross_entropy(m.forward(ds.x[i]), ds.y[i]).loss;
+    }
+    return sum / static_cast<float>(ds.size());
+  };
+
+  const float before = loss_of();
+  Sgd opt({.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  for (int step = 0; step < 30; ++step) {
+    m.zero_grad();
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      m.backward(cross_entropy(m.forward(ds.x[i]), ds.y[i]).grad);
+    }
+    opt.step(m, ds.size());
+  }
+  EXPECT_LT(loss_of(), before * 0.5f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Rng rng(8);
+  nn::Model m;
+  auto* d = m.add<nn::Dense>(4, 2);
+  d->init(rng);
+  const auto w0 = std::vector<float>(d->weights().begin(), d->weights().end());
+  Sgd opt({.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.5f});
+  opt.step(m, 1);  // zero gradients: pure decay
+  for (std::size_t i = 0; i < w0.size(); ++i) {
+    EXPECT_NEAR(d->weights()[i], w0[i] * (1.0f - 0.05f), 1e-6f);
+  }
+}
+
+TEST(Trainer, FitLearnsToyTask) {
+  Rng rng(9);
+  nn::Model m;
+  m.add<nn::Dense>(4, 8)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::Dense>(8, 2)->init(rng);
+  const auto train_set = toy_task(rng, 128);
+  const auto test_set = toy_task(rng, 64);
+
+  FitConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch_size = 8;
+  cfg.sgd.lr = 0.05f;
+  fit(m, train_set, cfg, rng);
+
+  EXPECT_GT(evaluate(m, test_set).accuracy, 0.9f);
+}
+
+TEST(Trainer, OnEpochHookRuns) {
+  Rng rng(10);
+  nn::Model m;
+  m.add<nn::Dense>(4, 2)->init(rng);
+  const auto ds = toy_task(rng, 16);
+  int calls = 0;
+  FitConfig cfg;
+  cfg.epochs = 3;
+  cfg.on_epoch = [&](nn::Model&, const EpochStats& s) {
+    EXPECT_EQ(s.epoch, calls);
+    ++calls;
+  };
+  fit(m, ds, cfg, rng);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Trainer, OnBatchHookSeesBatchSize) {
+  Rng rng(11);
+  nn::Model m;
+  m.add<nn::Dense>(4, 2)->init(rng);
+  const auto ds = toy_task(rng, 10);
+  std::vector<std::size_t> sizes;
+  FitConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 4;
+  cfg.on_batch = [&](nn::Model&, std::size_t bs) { sizes.push_back(bs); };
+  fit(m, ds, cfg, rng);
+  // 10 samples in batches of 4: 4, 4, 2.
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[2], 2u);
+}
+
+TEST(Evaluate, PerfectModelScoresOne) {
+  Rng rng(12);
+  const auto ds = toy_task(rng, 32);
+  nn::Model m;
+  auto* d = m.add<nn::Dense>(4, 2);
+  // Hand-built separator: class 0 has positive coords.
+  for (std::size_t i = 0; i < 4; ++i) {
+    d->weights()[0 * 4 + i] = 1.0f;
+    d->weights()[1 * 4 + i] = -1.0f;
+  }
+  EXPECT_FLOAT_EQ(evaluate(m, ds).accuracy, 1.0f);
+}
+
+}  // namespace
+}  // namespace ehdnn::train
