@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/ace/compiled_model.h"
 #include "device/device.h"
 #include "dsp/circulant.h"
@@ -67,16 +68,42 @@ void BM_DeviceDmaCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceDmaCopy)->Arg(64)->Arg(512);
 
+// Full ACE layer kernels through the device model (bulk fast paths on):
+// the host-side cost of simulating one conv2d / FC layer inference, on
+// the same quantized instances the perf harness measures (bench_common).
+void run_layer_bench(benchmark::State& state, const bench::LayerWorkload& w) {
+  dev::Device d;
+  power::ContinuousPower supply;
+  d.attach_supply(&supply);
+  const auto cm = ace::compile(w.qm, d);
+  auto rt = flex::make_ace_runtime();
+  const flex::RunOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt->infer(d, cm, w.qin, opts).completed);
+  }
+}
+
+void BM_Conv2dLayer(benchmark::State& state) {
+  run_layer_bench(state, bench::conv2d_micro_workload());
+}
+BENCHMARK(BM_Conv2dLayer);
+
+void BM_DenseLayer(benchmark::State& state) {
+  run_layer_bench(state, bench::fc_micro_workload());
+}
+BENCHMARK(BM_DenseLayer);
+
 void BM_CircConvRef(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   Rng rng(k);
-  std::vector<double> c(k), x(k);
+  std::vector<double> c(k), x(k), y(k);
   for (std::size_t i = 0; i < k; ++i) {
     c[i] = rng.uniform(-1, 1);
     x[i] = rng.uniform(-1, 1);
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dsp::circ_conv_ref(c, x));
+    dsp::circ_conv_ref(c, x, y);
+    benchmark::DoNotOptimize(y.data());
   }
 }
 BENCHMARK(BM_CircConvRef)->Arg(64)->Arg(256);

@@ -1,0 +1,333 @@
+// Perf-regression harness (see BENCHMARKS.md).
+//
+// Times the hot simulation kernels twice — once through the device's
+// scalar per-word reference path (set_bulk_enabled(false)) and once
+// through the bulk fast paths — plus one end-to-end model, verifying on
+// every run that the two paths produce bit-exact outputs and identical
+// modeled cycle/energy totals. Results are written as BENCH_micro.json
+// and BENCH_e2e.json in the working directory so successive PRs leave a
+// measured trajectory.
+//
+// Usage: perf_harness [--smoke] [--out-dir DIR]
+//   --smoke    tiny sizes and rep counts; used by the ctest `bench_smoke`
+//              entry so harness bit-rot (or a bulk/scalar divergence)
+//              fails tier-1.
+// Exit code is non-zero if any equivalence check fails.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ace/compiled_model.h"
+#include "dsp/circulant.h"
+#include "dsp/fft.h"
+#include "nn/bcm_dense.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+#include "quant/quantize.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ehdnn;
+using fx::q15_t;
+
+double now_ns() {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now().time_since_epoch())
+                                 .count());
+}
+
+constexpr double kCostRelTol = 1e-9;  // aggregated FP sums vs per-word sums
+
+bool close(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  return std::abs(a - b) <= kCostRelTol * scale;
+}
+
+struct DeviceRun {
+  std::vector<q15_t> output;
+  double cycles = 0.0;   // modeled cycles per inference
+  double energy = 0.0;   // modeled joules per inference
+  double wall_ns = 0.0;  // host wall-clock per inference
+};
+
+DeviceRun run_device_workload(const quant::QuantModel& qm, const std::vector<q15_t>& qin,
+                              const dev::DeviceConfig& cfg, bool bulk, int reps) {
+  dev::Device dev(cfg);
+  dev.set_bulk_enabled(bulk);
+  power::ContinuousPower supply;
+  dev.attach_supply(&supply);
+  const auto cm = ace::compile(qm, dev);
+  auto rt = flex::make_ace_runtime();
+  const flex::RunOptions opts;
+
+  DeviceRun r;
+  // Warm-up run doubles as the modeled-cost measurement (the modeled
+  // totals are deterministic and identical across runs).
+  const double c0 = dev.trace().total_cycles();
+  const double e0 = dev.trace().total_energy();
+  auto st = rt->infer(dev, cm, qin, opts);
+  r.output = std::move(st.output);
+  r.cycles = dev.trace().total_cycles() - c0;
+  r.energy = dev.trace().total_energy() - e0;
+
+  const double t0 = now_ns();
+  for (int i = 0; i < reps; ++i) rt->infer(dev, cm, qin, opts);
+  r.wall_ns = (now_ns() - t0) / static_cast<double>(reps);
+  return r;
+}
+
+struct KernelResult {
+  std::string name;
+  int reps = 0;
+  std::optional<double> wall_ns_scalar;  // absent for host-only kernels
+  double wall_ns_bulk = 0.0;
+  std::optional<double> modeled_cycles;
+  std::optional<double> modeled_energy;
+  bool bit_exact = true;
+  bool cost_match = true;
+
+  std::optional<double> speedup() const {
+    if (!wall_ns_scalar || wall_ns_bulk <= 0.0) return std::nullopt;
+    return *wall_ns_scalar / wall_ns_bulk;
+  }
+  bool ok() const { return bit_exact && cost_match; }
+};
+
+KernelResult bench_layer(const std::string& name, const bench::LayerWorkload& w, int reps) {
+  const dev::DeviceConfig cfg;
+  const DeviceRun scalar = run_device_workload(w.qm, w.qin, cfg, /*bulk=*/false, reps);
+  const DeviceRun bulk = run_device_workload(w.qm, w.qin, cfg, /*bulk=*/true, reps);
+
+  KernelResult r;
+  r.name = name;
+  r.reps = reps;
+  r.wall_ns_scalar = scalar.wall_ns;
+  r.wall_ns_bulk = bulk.wall_ns;
+  r.modeled_cycles = bulk.cycles;
+  r.modeled_energy = bulk.energy;
+  r.bit_exact = scalar.output == bulk.output;
+  r.cost_match = close(scalar.cycles, bulk.cycles) && close(scalar.energy, bulk.energy);
+  return r;
+}
+
+KernelResult bench_fft(std::size_t n, int reps) {
+  Rng rng(n);
+  std::vector<fx::cq15> buf(n), work(n);
+  for (auto& c : buf) {
+    c = {fx::to_q15(rng.uniform(-0.5, 0.5)), fx::to_q15(rng.uniform(-0.5, 0.5))};
+  }
+  dsp::fft_plan(n);  // plan build outside the timed region
+  const double t0 = now_ns();
+  for (int i = 0; i < reps; ++i) {
+    work = buf;
+    dsp::fft_q15(work, dsp::FftScaling::kFixedScale);
+  }
+  KernelResult r;
+  r.name = "fft_q15_" + std::to_string(n);
+  r.reps = reps;
+  r.wall_ns_bulk = (now_ns() - t0) / static_cast<double>(reps);
+  return r;
+}
+
+KernelResult bench_circulant(std::size_t k, int reps) {
+  Rng rng(k);
+  std::vector<q15_t> c(k), x(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    c[i] = fx::to_q15(rng.uniform(-0.1, 0.1));
+    x[i] = fx::to_q15(rng.uniform(-0.5, 0.5));
+  }
+  // "Scalar" = the allocating vector API; "bulk" = the scratch overload.
+  // Both loops get an untimed warm-up pass so allocator and cache state
+  // don't bias whichever runs first.
+  const auto ref = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat);
+  dsp::CirculantScratchQ15 scratch;
+  std::vector<q15_t> out(k);
+  int exponent = 0;
+  for (int i = 0; i < reps / 4 + 1; ++i) {
+    const auto v = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat);
+    (void)v;
+    exponent = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat, scratch, out);
+  }
+  const double t0 = now_ns();
+  for (int i = 0; i < reps; ++i) {
+    const auto v = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat);
+    (void)v;
+  }
+  const double scalar_ns = (now_ns() - t0) / static_cast<double>(reps);
+
+  const double t1 = now_ns();
+  for (int i = 0; i < reps; ++i) {
+    exponent = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat, scratch, out);
+  }
+  KernelResult r;
+  r.name = "circulant_matvec_q15_" + std::to_string(k);
+  r.reps = reps;
+  r.wall_ns_scalar = scalar_ns;
+  r.wall_ns_bulk = (now_ns() - t1) / static_cast<double>(reps);
+  r.bit_exact = out == ref.data && exponent == ref.exponent;
+  return r;
+}
+
+void json_opt(std::FILE* f, const char* key, const std::optional<double>& v,
+              const char* suffix) {
+  if (v) {
+    std::fprintf(f, "\"%s\": %.6g%s", key, *v, suffix);
+  } else {
+    std::fprintf(f, "\"%s\": null%s", key, suffix);
+  }
+}
+
+bool write_micro_json(const std::string& path, const std::vector<KernelResult>& rs,
+                      bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_harness: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"ehdnn-perf-micro-v1\",\n  \"mode\": \"%s\",\n",
+               smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const KernelResult& r = rs[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"reps\": %d, ", r.name.c_str(), r.reps);
+    json_opt(f, "wall_ns_per_run_scalar", r.wall_ns_scalar, ", ");
+    std::fprintf(f, "\"wall_ns_per_run_bulk\": %.6g, ", r.wall_ns_bulk);
+    json_opt(f, "speedup", r.speedup(), ", ");
+    json_opt(f, "modeled_cycles", r.modeled_cycles, ", ");
+    json_opt(f, "modeled_energy_j", r.modeled_energy, ", ");
+    std::fprintf(f, "\"bit_exact\": %s, \"cost_match\": %s}%s\n",
+                 r.bit_exact ? "true" : "false", r.cost_match ? "true" : "false",
+                 i + 1 < rs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+bool write_e2e_json(const std::string& path, const KernelResult& r, bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_harness: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"ehdnn-perf-e2e-v1\",\n  \"mode\": \"%s\",\n",
+               smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"model\": \"%s\",\n  \"reps\": %d,\n", r.name.c_str(), r.reps);
+  std::fprintf(f, "  ");
+  json_opt(f, "wall_ns_per_run_scalar", r.wall_ns_scalar, ",\n  ");
+  std::fprintf(f, "\"wall_ns_per_run_bulk\": %.6g,\n  ", r.wall_ns_bulk);
+  json_opt(f, "speedup", r.speedup(), ",\n  ");
+  json_opt(f, "modeled_cycles", r.modeled_cycles, ",\n  ");
+  json_opt(f, "modeled_energy_j", r.modeled_energy, ",\n  ");
+  std::fprintf(f, "\"bit_exact\": %s,\n  \"cost_match\": %s\n}\n",
+               r.bit_exact ? "true" : "false", r.cost_match ? "true" : "false");
+  std::fclose(f);
+  return true;
+}
+
+void print_result(const KernelResult& r) {
+  if (r.wall_ns_scalar) {
+    std::printf("%-28s %10.0f ns -> %10.0f ns  (%.2fx)%s\n", r.name.c_str(),
+                *r.wall_ns_scalar, r.wall_ns_bulk, *r.speedup(),
+                r.ok() ? "" : "  MISMATCH");
+  } else {
+    std::printf("%-28s %25.0f ns\n", r.name.c_str(), r.wall_ns_bulk);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_harness [--smoke] [--out-dir DIR]\n");
+      return 2;
+    }
+  }
+
+  std::vector<KernelResult> micro;
+
+  // conv2d + FC are the acceptance kernels; bcm covers Algorithm 1. Full
+  // sizes come from bench_common so micro_kernels measures the same
+  // quantized instances.
+  if (smoke) {
+    Rng wr(1);
+    nn::Model m;
+    m.add<nn::Conv2D>(2, 4, 3, 3)->init(wr);
+    micro.push_back(bench_layer("conv2d", bench::make_layer_workload(std::move(m), {2, 8, 8}, 11), 2));
+  } else {
+    micro.push_back(bench_layer("conv2d", bench::conv2d_micro_workload(), 20));
+  }
+  if (smoke) {
+    Rng wr(2);
+    nn::Model m;
+    m.add<nn::Dense>(128, 32)->init(wr);
+    micro.push_back(bench_layer("fc", bench::make_layer_workload(std::move(m), {128}, 12), 4));
+  } else {
+    micro.push_back(bench_layer("fc", bench::fc_micro_workload(), 50));
+  }
+  {
+    Rng wr(3);
+    nn::Model m;
+    if (smoke) {
+      m.add<nn::BcmDense>(128, 128, 64)->init(wr);
+      micro.push_back(bench_layer("bcm", bench::make_layer_workload(std::move(m), {128}, 13), 2));
+    } else {
+      m.add<nn::BcmDense>(512, 512, 128)->init(wr);
+      micro.push_back(bench_layer("bcm", bench::make_layer_workload(std::move(m), {512}, 13), 20));
+    }
+  }
+  micro.push_back(bench_fft(smoke ? 64 : 256, smoke ? 50 : 2000));
+  micro.push_back(bench_circulant(smoke ? 64 : 256, smoke ? 50 : 1000));
+
+  std::printf("micro kernels (scalar -> bulk):\n");
+  for (const auto& r : micro) print_result(r);
+
+  // End-to-end: the compressed MNIST model under continuous power.
+  KernelResult e2e;
+  {
+    Rng rng(0xb0a710ad);
+    const auto qm = bench::make_qmodel(models::Task::kMnist, /*compressed=*/true, rng);
+    const auto qin = quant::quantize_input(
+        qm, bench::random_input_tensor(models::model_info(models::Task::kMnist).input_shape,
+                                       rng));
+    const dev::DeviceConfig cfg = bench::device_for(/*compressed=*/true);
+    const int reps = smoke ? 1 : 5;
+    const DeviceRun scalar = run_device_workload(qm, qin, cfg, false, reps);
+    const DeviceRun bulk = run_device_workload(qm, qin, cfg, true, reps);
+    e2e.name = "mnist";
+    e2e.reps = reps;
+    e2e.wall_ns_scalar = scalar.wall_ns;
+    e2e.wall_ns_bulk = bulk.wall_ns;
+    e2e.modeled_cycles = bulk.cycles;
+    e2e.modeled_energy = bulk.energy;
+    e2e.bit_exact = scalar.output == bulk.output;
+    e2e.cost_match = close(scalar.cycles, bulk.cycles) && close(scalar.energy, bulk.energy);
+  }
+  std::printf("end-to-end:\n");
+  print_result(e2e);
+
+  const bool wrote = write_micro_json(out_dir + "/BENCH_micro.json", micro, smoke) &&
+                     write_e2e_json(out_dir + "/BENCH_e2e.json", e2e, smoke);
+
+  bool ok = e2e.ok();
+  for (const auto& r : micro) ok = ok && r.ok();
+  if (!ok) {
+    std::fprintf(stderr, "perf_harness: bulk/scalar equivalence FAILED\n");
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

@@ -63,6 +63,52 @@ ScratchNeed layer_need(const quant::QLayer& l) {
   return n;
 }
 
+// The compile-time gather tables the kernels index at run time.
+LayerPlan layer_plan(const quant::QLayer& l) {
+  LayerPlan p;
+  switch (l.kind) {
+    case quant::QKind::kConv2D: {
+      for (std::size_t r = 0; r < l.kh; ++r) {
+        for (std::size_t s = 0; s < l.kw; ++s) {
+          if (l.shape_mask.empty() || l.shape_mask[r * l.kw + s]) {
+            p.live_pos.emplace_back(static_cast<std::uint32_t>(r),
+                                    static_cast<std::uint32_t>(s));
+          }
+        }
+      }
+      const std::size_t ih = l.in_shape[1], iw = l.in_shape[2];
+      for (std::size_t c = 0; c < l.in_ch; ++c) {
+        for (const auto& [r, s] : p.live_pos) {
+          p.w_gather.push_back(static_cast<std::uint32_t>((c * l.kh + r) * l.kw + s));
+          p.x_gather.push_back(static_cast<std::uint32_t>((c * ih + r) * iw + s));
+        }
+      }
+      break;
+    }
+    case quant::QKind::kConv1D: {
+      const std::size_t il = l.in_shape[1];
+      for (std::size_t c = 0; c < l.in_ch; ++c) {
+        for (std::size_t t = 0; t < l.k; ++t) {
+          p.w_gather.push_back(static_cast<std::uint32_t>(c * l.k + t));
+          p.x_gather.push_back(static_cast<std::uint32_t>(c * il + t));
+        }
+      }
+      break;
+    }
+    case quant::QKind::kBcmDense: {
+      for (std::size_t t = 0; t < l.k; ++t) {
+        p.real_gather.push_back(static_cast<std::uint32_t>(2 * t));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const auto o : p.w_gather) p.w_span = std::max<std::size_t>(p.w_span, o + 1);
+  for (const auto o : p.x_gather) p.x_span = std::max<std::size_t>(p.x_span, o + 1);
+  return p;
+}
+
 }  // namespace
 
 bool use_dma(const dev::CostModel& cm, std::size_t words) {
@@ -79,10 +125,7 @@ void move_words(dev::Device& dev, dev::MemKind src_mem, dev::Addr src, dev::MemK
     dev.dma_copy(src_mem, src, dst_mem, dst, words);
     return;
   }
-  for (std::size_t i = 0; i < words; ++i) {
-    dev.cpu_ops(2);  // address update + loop check
-    dev.write(dst_mem, dst + i, dev.read(src_mem, src + i));
-  }
+  dev.cpu_copy(src_mem, src, dst_mem, dst, words);
 }
 
 CompiledModel compile(const quant::QuantModel& qm, dev::Device& dev) {
@@ -112,6 +155,7 @@ CompiledModel compile(const quant::QuantModel& qm, dev::Device& dev) {
     }
     if (q.kind == quant::QKind::kBcmDense) max_k = std::max(max_k, q.k);
     cm.images.push_back(img);
+    cm.plans.push_back(layer_plan(q));
   }
 
   // Intermittent-runtime control area: generous fixed header plus two

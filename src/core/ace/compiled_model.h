@@ -14,6 +14,8 @@
 // RAD's architecture search performs before accepting a candidate.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "device/device.h"
@@ -24,6 +26,25 @@ namespace ehdnn::ace {
 struct LayerImage {
   dev::Addr w_base = 0;  // FRAM, weights (layout as in QLayer)
   dev::Addr b_base = 0;  // FRAM, biases
+};
+
+// Per-layer compile-time gather tables: everything the kernels used to
+// recompute (or allocate) per invocation is resolved once here, so the
+// inner loops are pure bulk device accesses.
+struct LayerPlan {
+  // Conv2D: live kernel positions (r, s) honoring structured pruning.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> live_pos;
+  // Conv: FRAM offsets of one filter's live weights relative to the
+  // filter's weight base, in gather order (c-major, then live position).
+  std::vector<std::uint32_t> w_gather;
+  std::size_t w_span = 0;  // max offset + 1 (single bounds-check window)
+  // Conv: SRAM offsets of one input window's live elements relative to
+  // input_stage + (top-left corner of the window).
+  std::vector<std::uint32_t> x_gather;
+  std::size_t x_span = 0;
+  // BcmDense: offsets of the real components in an interleaved complex
+  // buffer of k elements ({0, 2, ..., 2k-2}) for the REAL extraction.
+  std::vector<std::uint32_t> real_gather;
 };
 
 // SRAM scratch plan (word addresses; a size of 0 means not needed).
@@ -51,6 +72,7 @@ struct SramPlan {
 struct CompiledModel {
   quant::QuantModel model;  // metadata copy (weights also live in FRAM)
   std::vector<LayerImage> images;
+  std::vector<LayerPlan> plans;  // parallel to model.layers
 
   dev::Addr act_a = 0;
   dev::Addr act_b = 0;

@@ -22,15 +22,40 @@ constexpr std::size_t kCpuUnit = 64;  // element block for CPU-direct layers
 
 int acc_rshift(const QLayer& l) { return 15 + l.out_exp - l.w_exp - l.in_exp; }
 
-// Live kernel positions (r, s) honoring structured pruning.
-std::vector<std::pair<std::size_t, std::size_t>> live_positions(const QLayer& l) {
-  std::vector<std::pair<std::size_t, std::size_t>> pos;
-  for (std::size_t r = 0; r < l.kh; ++r) {
-    for (std::size_t s = 0; s < l.kw; ++s) {
-      if (l.shape_mask.empty() || l.shape_mask[r * l.kw + s]) pos.push_back({r, s});
-    }
+using Span = std::span<fx::q15_t>;
+
+// Effective arena for one kernel run: the caller's cross-layer arena when
+// provided, else a run-local fallback (allocations then amortize across
+// the units of this run only).
+struct ArenaRef {
+  ScratchArena fallback;
+  ScratchArena& ar;
+  explicit ArenaRef(const ExecCtx& ctx) : ar(ctx.arena != nullptr ? *ctx.arena : fallback) {}
+  ScratchArena* operator->() { return &ar; }
+};
+
+// 32/64-bit accumulator packing over host-side word images, mirroring the
+// device-resident layouts of read/write_acc32/64 below.
+std::int32_t unpack_acc32(std::span<const q15_t> w, std::size_t idx) {
+  const auto lo = static_cast<std::uint16_t>(w[2 * idx]);
+  const auto hi = static_cast<std::uint16_t>(w[2 * idx + 1]);
+  return static_cast<std::int32_t>((static_cast<std::uint32_t>(hi) << 16) | lo);
+}
+
+std::int64_t unpack_acc64(std::span<const q15_t> w, std::size_t idx) {
+  std::uint64_t u = 0;
+  for (int b = 3; b >= 0; --b) {
+    u = (u << 16) | static_cast<std::uint16_t>(w[4 * idx + b]);
   }
-  return pos;
+  return static_cast<std::int64_t>(u);
+}
+
+void pack_acc64(Span w, std::size_t idx, std::int64_t v) {
+  auto u = static_cast<std::uint64_t>(v);
+  for (int b = 0; b < 4; ++b) {
+    w[4 * idx + b] = static_cast<q15_t>(u & 0xffff);
+    u >>= 16;
+  }
 }
 
 // ---------------------------------------------------------------- Conv2D
@@ -39,16 +64,20 @@ void run_conv2d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
   dev::Device& dv = ctx.dev;
   const QLayer& q = ctx.q();
   const SramPlan& sp = ctx.cm.sram;
-  const std::size_t ih = q.in_shape[1], iw = q.in_shape[2];
+  const LayerPlan& lp = ctx.plan();
+  ArenaRef ar(ctx);
+  const std::size_t iw = q.in_shape[2];
   const std::size_t oh = q.out_shape[1], ow = q.out_shape[2];
-  const auto pos = live_positions(q);
-  const std::size_t gather = q.in_ch * pos.size();
+  const std::size_t gather = q.in_ch * lp.live_pos.size();
   const int rshift = acc_rshift(q);
 
   // Stage the whole input feature map in SRAM (acceleration-aware
   // dataflow: one bulk DMA instead of per-window FRAM traffic).
   check(q.in_size() <= sp.input_stage_words, "conv2d: input stage overflow");
   move_words(dv, MemKind::kFram, ctx.in_addr, MemKind::kSram, sp.input_stage, q.in_size());
+
+  const Span gbuf = ScratchArena::need(ar->gather, gather);
+  const Span rowbuf = ScratchArena::need(ar->row, ow);
 
   std::size_t cur_f = static_cast<std::size_t>(-1);
   q15_t bias_f = 0;
@@ -61,38 +90,27 @@ void run_conv2d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
     if (f != cur_f) {
       // Gather filter f's live weights into a contiguous SRAM vector: one
       // LEA MAC then covers the whole kernel (Fig. 4).
-      std::size_t idx = 0;
-      for (std::size_t c = 0; c < q.in_ch; ++c) {
-        for (const auto& [r, s] : pos) {
-          dv.cpu_ops(2);
-          const q15_t w = dv.read(MemKind::kFram,
-                                  ctx.img().w_base + ((f * q.in_ch + c) * q.kh + r) * q.kw + s);
-          dv.write(MemKind::kSram, sp.kern_vec + idx, w);
-          ++idx;
-        }
-      }
+      dv.cpu_ops(2.0 * static_cast<double>(gather));
+      dv.read_gather(MemKind::kFram, ctx.img().w_base + f * q.in_ch * q.kh * q.kw,
+                     lp.w_gather, lp.w_span, gbuf);
+      dv.write_block(MemKind::kSram, sp.kern_vec, gbuf);
       bias_f = q.bias.empty() ? q15_t{0} : dv.read(MemKind::kFram, ctx.img().b_base + f);
       cur_f = f;
     }
 
     for (std::size_t j = 0; j < ow; ++j) {
       // Window gather (SRAM -> SRAM), pruned positions skipped.
-      std::size_t idx = 0;
-      for (std::size_t c = 0; c < q.in_ch; ++c) {
-        for (const auto& [r, s] : pos) {
-          dv.cpu_ops(2);
-          const q15_t v =
-              dv.read(MemKind::kSram, sp.input_stage + (c * ih + i + r) * iw + j + s);
-          dv.write(MemKind::kSram, sp.win_vec + idx, v);
-          ++idx;
-        }
-      }
+      dv.cpu_ops(2.0 * static_cast<double>(gather));
+      dv.read_gather(MemKind::kSram, sp.input_stage + i * iw + j, lp.x_gather, lp.x_span,
+                     gbuf);
+      dv.write_block(MemKind::kSram, sp.win_vec, gbuf);
       const std::int64_t acc = dv.lea_mac(sp.win_vec, sp.kern_vec, gather);
-      dv.cpu_ops(4);  // narrow + bias + store setup
       q15_t v = fx::narrow_q30(acc, rshift, ctx.stats);
       if (!q.bias.empty()) v = fx::add_sat(v, bias_f, ctx.stats);
-      dv.write(MemKind::kSram, sp.row_stage + j, v);
+      rowbuf[j] = v;
     }
+    dv.cpu_ops(4.0 * static_cast<double>(ow));  // narrow + bias + store setup
+    dv.write_block(MemKind::kSram, sp.row_stage, rowbuf);
 
     // Bulk-commit the finished output row.
     move_words(dv, MemKind::kSram, sp.row_stage, MemKind::kFram,
@@ -107,7 +125,8 @@ void run_conv1d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
   dev::Device& dv = ctx.dev;
   const QLayer& q = ctx.q();
   const SramPlan& sp = ctx.cm.sram;
-  const std::size_t il = q.in_shape[1];
+  const LayerPlan& lp = ctx.plan();
+  ArenaRef ar(ctx);
   const std::size_t ol = q.out_shape[1];
   const std::size_t gather = q.in_ch * q.k;
   const int rshift = acc_rshift(q);
@@ -115,35 +134,28 @@ void run_conv1d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
   check(q.in_size() <= sp.input_stage_words, "conv1d: input stage overflow");
   move_words(dv, MemKind::kFram, ctx.in_addr, MemKind::kSram, sp.input_stage, q.in_size());
 
+  const Span gbuf = ScratchArena::need(ar->gather, gather);
+  const Span rowbuf = ScratchArena::need(ar->row, ol);
+
   for (std::size_t f = start_unit; f < q.out_ch; ++f) {
     if (hooks.boundary) hooks.boundary(f);
-    std::size_t idx = 0;
-    for (std::size_t c = 0; c < q.in_ch; ++c) {
-      for (std::size_t t = 0; t < q.k; ++t) {
-        dv.cpu_ops(2);
-        dv.write(MemKind::kSram, sp.kern_vec + idx,
-                 dv.read(MemKind::kFram, ctx.img().w_base + (f * q.in_ch + c) * q.k + t));
-        ++idx;
-      }
-    }
+    // Filter weights are contiguous in FRAM: a straight block read.
+    dv.cpu_ops(2.0 * static_cast<double>(gather));
+    dv.read_block(MemKind::kFram, ctx.img().w_base + f * gather, gbuf);
+    dv.write_block(MemKind::kSram, sp.kern_vec, gbuf);
     const q15_t bias_f = q.bias.empty() ? q15_t{0} : dv.read(MemKind::kFram, ctx.img().b_base + f);
 
     for (std::size_t i = 0; i < ol; ++i) {
-      std::size_t widx = 0;
-      for (std::size_t c = 0; c < q.in_ch; ++c) {
-        for (std::size_t t = 0; t < q.k; ++t) {
-          dv.cpu_ops(2);
-          dv.write(MemKind::kSram, sp.win_vec + widx,
-                   dv.read(MemKind::kSram, sp.input_stage + c * il + i + t));
-          ++widx;
-        }
-      }
+      dv.cpu_ops(2.0 * static_cast<double>(gather));
+      dv.read_gather(MemKind::kSram, sp.input_stage + i, lp.x_gather, lp.x_span, gbuf);
+      dv.write_block(MemKind::kSram, sp.win_vec, gbuf);
       const std::int64_t acc = dv.lea_mac(sp.win_vec, sp.kern_vec, gather);
-      dv.cpu_ops(4);
       q15_t v = fx::narrow_q30(acc, rshift, ctx.stats);
       if (!q.bias.empty()) v = fx::add_sat(v, bias_f, ctx.stats);
-      dv.write(MemKind::kSram, sp.row_stage + i, v);
+      rowbuf[i] = v;
     }
+    dv.cpu_ops(4.0 * static_cast<double>(ol));
+    dv.write_block(MemKind::kSram, sp.row_stage, rowbuf);
     move_words(dv, MemKind::kSram, sp.row_stage, MemKind::kFram, ctx.out_addr + f * ol, ol);
     if (hooks.committed) hooks.committed(f);
   }
@@ -161,8 +173,12 @@ void run_dense(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
   const int guard = quant::dense_guard_shift(in);
   const int rshift = acc_rshift(q) - guard;
 
+  ArenaRef ar(ctx);
+
   if (start_unit == 0) {
-    for (std::size_t o = 0; o < out; ++o) write_acc32(dv, MemKind::kSram, sp.acc32, o, 0);
+    const Span zeros = ScratchArena::need(ar->acc, 2 * out);
+    std::fill(zeros.begin(), zeros.end(), q15_t{0});
+    dv.write_block(MemKind::kSram, sp.acc32, zeros);
   }
   // start_unit > 0 contract: caller restored acc32 such that neurons in
   // blocks < (start_unit % nblocks) have chunks [0, start_unit/nblocks]
@@ -194,15 +210,23 @@ void run_dense(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
   }
 
   // Narrow all neurons and bulk-commit.
-  for (std::size_t o = 0; o < out; ++o) {
-    dv.cpu_ops(4);
-    q15_t v = fx::narrow_q30(static_cast<std::int64_t>(read_acc32(dv, MemKind::kSram, sp.acc32, o)),
-                             rshift, ctx.stats);
-    if (!q.bias.empty()) {
-      v = fx::add_sat(v, dv.read(MemKind::kFram, ctx.img().b_base + o), ctx.stats);
-    }
-    dv.write(MemKind::kSram, sp.row_stage + o, v);
+  const Span accbuf = ScratchArena::need(ar->acc, 2 * out);
+  dv.read_block(MemKind::kSram, sp.acc32, accbuf);
+  const Span rowbuf = ScratchArena::need(ar->row, out);
+  std::span<const q15_t> biasbuf;
+  if (!q.bias.empty()) {
+    const Span bb = ScratchArena::need(ar->bias, out);
+    dv.read_block(MemKind::kFram, ctx.img().b_base, bb);
+    biasbuf = bb;
   }
+  dv.cpu_ops(4.0 * static_cast<double>(out));
+  for (std::size_t o = 0; o < out; ++o) {
+    q15_t v = fx::narrow_q30(static_cast<std::int64_t>(unpack_acc32(accbuf, o)), rshift,
+                             ctx.stats);
+    if (!biasbuf.empty()) v = fx::add_sat(v, biasbuf[o], ctx.stats);
+    rowbuf[o] = v;
+  }
+  dv.write_block(MemKind::kSram, sp.row_stage, rowbuf);
   move_words(dv, MemKind::kSram, sp.row_stage, MemKind::kFram, ctx.out_addr, out);
 }
 
@@ -213,19 +237,21 @@ void run_cpu_layer(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks)
   const QLayer& q = ctx.q();
   const std::size_t n = q.out_size();
   const std::size_t units = div_ceil(n, kCpuUnit);
+  ArenaRef ar(ctx);
 
   for (std::size_t u = start_unit; u < units; ++u) {
     if (hooks.boundary) hooks.boundary(u);
     const std::size_t lo = u * kCpuUnit;
     const std::size_t hi = std::min(lo + kCpuUnit, n);
     switch (q.kind) {
-      case QKind::kReLU:
-        for (std::size_t e = lo; e < hi; ++e) {
-          const q15_t v = dv.read(MemKind::kFram, ctx.in_addr + e);
-          dv.cpu_ops(2);
-          dv.write(MemKind::kFram, ctx.out_addr + e, std::max<q15_t>(v, 0));
-        }
+      case QKind::kReLU: {
+        const Span buf = ScratchArena::need(ar->row, hi - lo);
+        dv.read_block(MemKind::kFram, ctx.in_addr + lo, buf);
+        dv.cpu_ops(2.0 * static_cast<double>(hi - lo));
+        for (auto& v : buf) v = std::max<q15_t>(v, 0);
+        dv.write_block(MemKind::kFram, ctx.out_addr + lo, buf);
         break;
+      }
       case QKind::kMaxPool2D: {
         const std::size_t ihh = q.in_shape[1], iww = q.in_shape[2];
         const std::size_t ohh = q.out_shape[1], oww = q.out_shape[2];
@@ -264,6 +290,8 @@ void run_bcm(ExecCtx& ctx, BcmState st, BcmObserver* obs) {
   dev::Device& dv = ctx.dev;
   const QLayer& q = ctx.q();
   const SramPlan& sp = ctx.cm.sram;
+  const LayerPlan& lp = ctx.plan();
+  ArenaRef ar(ctx);
   const std::size_t k = q.k;
   const int lg = ilog2(k);
   const std::size_t in = q.in_size();
@@ -281,7 +309,9 @@ void run_bcm(ExecCtx& ctx, BcmState st, BcmObserver* obs) {
     // the caller having restored it (or j0 == 0 && stage == kLoad, where
     // nothing has been accumulated yet).
     if (!resumed_row || (j0 == 0 && st.stage == BcmStage::kLoad)) {
-      for (std::size_t t = 0; t < k; ++t) write_acc64(dv, MemKind::kSram, sp.acc32, t, 0);
+      const Span zeros = ScratchArena::need(ar->acc, 4 * k);
+      std::fill(zeros.begin(), zeros.end(), q15_t{0});
+      dv.write_block(MemKind::kSram, sp.acc32, zeros);
     }
 
     for (std::size_t bj = j0; bj < q.bq; ++bj) {
@@ -300,20 +330,30 @@ void run_bcm(ExecCtx& ctx, BcmState st, BcmObserver* obs) {
         if (real > 0) {
           move_words(dv, MemKind::kFram, ctx.in_addr + base, MemKind::kSram, sp.x_blk, real);
         }
-        for (std::size_t t = real; t < k; ++t) {
-          dv.cpu_ops(1);
-          dv.write(MemKind::kSram, sp.x_blk + t, 0);
+        if (real < k) {
+          const Span zeros = ScratchArena::need(ar->row, k - real);
+          std::fill(zeros.begin(), zeros.end(), q15_t{0});
+          dv.cpu_ops(1.0 * static_cast<double>(k - real));
+          dv.write_block(MemKind::kSram, sp.x_blk + real, zeros);
         }
         move_words(dv, MemKind::kFram, ctx.img().w_base + block * k, MemKind::kSram, sp.w_blk,
                    k);
         // COMPLEX: interleave with zero imaginary parts (Algorithm 1 l.5-6).
+        const Span blk = ScratchArena::need(ar->row, k);
+        const Span inter = ScratchArena::need(ar->spect, 2 * k);
+        dv.cpu_ops(2.0 * static_cast<double>(k));
+        dv.read_block(MemKind::kSram, sp.x_blk, blk);
         for (std::size_t t = 0; t < k; ++t) {
-          dv.cpu_ops(2);
-          dv.write(MemKind::kSram, sp.fft_x + 2 * t, dv.read(MemKind::kSram, sp.x_blk + t));
-          dv.write(MemKind::kSram, sp.fft_x + 2 * t + 1, 0);
-          dv.write(MemKind::kSram, sp.fft_w + 2 * t, dv.read(MemKind::kSram, sp.w_blk + t));
-          dv.write(MemKind::kSram, sp.fft_w + 2 * t + 1, 0);
+          inter[2 * t] = blk[t];
+          inter[2 * t + 1] = 0;
         }
+        dv.write_block(MemKind::kSram, sp.fft_x, inter);
+        dv.read_block(MemKind::kSram, sp.w_blk, blk);
+        for (std::size_t t = 0; t < k; ++t) {
+          inter[2 * t] = blk[t];
+          inter[2 * t + 1] = 0;
+        }
+        dv.write_block(MemKind::kSram, sp.fft_w, inter);
         stage = BcmStage::kFftX;
         obs->on_stage(ctx, {block, stage, exp_x, exp_w, exp_p});
       }
@@ -332,11 +372,12 @@ void run_bcm(ExecCtx& ctx, BcmState st, BcmObserver* obs) {
         // shift the louder one(s) so the complex multiply cannot saturate.
         if (ctx.scaling == dsp::FftScaling::kBlockFloat) {
           int mx = 0, mw = 0;
-          for (std::size_t i = 0; i < 2 * k; ++i) {
-            dv.cpu_ops(2);
-            mx = std::max(mx, std::abs(static_cast<int>(dv.read(MemKind::kSram, sp.fft_x + i))));
-            mw = std::max(mw, std::abs(static_cast<int>(dv.read(MemKind::kSram, sp.fft_w + i))));
-          }
+          const Span spec = ScratchArena::need(ar->spect, 2 * k);
+          dv.cpu_ops(2.0 * static_cast<double>(2 * k));
+          dv.read_block(MemKind::kSram, sp.fft_x, spec);
+          for (const q15_t v : spec) mx = std::max(mx, std::abs(static_cast<int>(v)));
+          dv.read_block(MemKind::kSram, sp.fft_w, spec);
+          for (const q15_t v : spec) mw = std::max(mw, std::abs(static_cast<int>(v)));
           const dsp::GuardShifts g = dsp::product_guard(mw, mx);
           if (g.w > 0) {
             dv.lea_shift(sp.fft_w, sp.fft_w, 2 * k, -g.w);
@@ -360,26 +401,38 @@ void run_bcm(ExecCtx& ctx, BcmState st, BcmObserver* obs) {
       {
         const int shift = exp_x + exp_w + exp_p + lg;
         check(shift >= 0, "run_bcm: negative aligned exponent");
+        const Span re = ScratchArena::need(ar->row, k);
+        dv.read_gather(MemKind::kSram, sp.fft_w, lp.real_gather, 2 * k, re);
+        const Span accbuf = ScratchArena::need(ar->acc, 4 * k);
+        dv.read_block(MemKind::kSram, sp.acc32, accbuf);
+        dv.cpu_ops(3.0 * static_cast<double>(k));
         for (std::size_t t = 0; t < k; ++t) {
-          dv.cpu_ops(3);
-          const q15_t re = dv.read(MemKind::kSram, sp.fft_w + 2 * t);
-          const std::int64_t folded = read_acc64(dv, MemKind::kSram, sp.acc32, t) +
-                                      (static_cast<std::int64_t>(re) << shift);
-          write_acc64(dv, MemKind::kSram, sp.acc32, t, folded);
+          pack_acc64(accbuf, t,
+                     unpack_acc64(accbuf, t) + (static_cast<std::int64_t>(re[t]) << shift));
         }
+        dv.write_block(MemKind::kSram, sp.acc32, accbuf);
         obs->on_block_done(ctx, block);
       }
     }
 
     // SCALE-UP + bias + commit of output block row bi (Algorithm 1 l.9).
-    for (std::size_t t = 0; t < k; ++t) {
-      dv.cpu_ops(4);
-      q15_t v = fx::narrow_q30(read_acc64(dv, MemKind::kSram, sp.acc32, t), row_rshift,
-                               ctx.stats);
+    {
+      const Span accbuf = ScratchArena::need(ar->acc, 4 * k);
+      dv.read_block(MemKind::kSram, sp.acc32, accbuf);
+      const Span rowbuf = ScratchArena::need(ar->row, k);
+      std::span<const q15_t> biasbuf;
       if (!q.bias.empty()) {
-        v = fx::add_sat(v, dv.read(MemKind::kFram, ctx.img().b_base + bi * k + t), ctx.stats);
+        const Span bb = ScratchArena::need(ar->bias, k);
+        dv.read_block(MemKind::kFram, ctx.img().b_base + bi * k, bb);
+        biasbuf = bb;
       }
-      dv.write(MemKind::kSram, sp.row_stage + t, v);
+      dv.cpu_ops(4.0 * static_cast<double>(k));
+      for (std::size_t t = 0; t < k; ++t) {
+        q15_t v = fx::narrow_q30(unpack_acc64(accbuf, t), row_rshift, ctx.stats);
+        if (!biasbuf.empty()) v = fx::add_sat(v, biasbuf[t], ctx.stats);
+        rowbuf[t] = v;
+      }
+      dv.write_block(MemKind::kSram, sp.row_stage, rowbuf);
     }
     move_words(dv, MemKind::kSram, sp.row_stage, MemKind::kFram, ctx.out_addr + bi * k, k);
     obs->on_row_committed(ctx, bi);

@@ -23,12 +23,32 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "core/ace/compiled_model.h"
 #include "dsp/fft.h"
 #include "util/math.h"
 
 namespace ehdnn::ace {
+
+// Reusable host-side staging for the bulk kernels. Buffers grow once to
+// their high-water mark and are reused across units and layers; runtimes
+// hold one arena per inference so the steady state allocates nothing.
+// Distinct vectors exist for the buffers that are live simultaneously
+// (a `need` call may resize its vector, invalidating spans into it).
+struct ScratchArena {
+  std::vector<fx::q15_t> gather;  // gathered weights / windows
+  std::vector<fx::q15_t> row;     // staged rows / real parts / x-w blocks
+  std::vector<fx::q15_t> acc;     // accumulator-row images (acc32/acc64)
+  std::vector<fx::q15_t> bias;    // bias block staging
+  std::vector<fx::q15_t> spect;   // BCM interleave / spectrum staging
+
+  static std::span<fx::q15_t> need(std::vector<fx::q15_t>& v, std::size_t n) {
+    if (v.size() < n) v.resize(n);
+    return {v.data(), n};
+  }
+};
 
 struct ExecCtx {
   dev::Device& dev;
@@ -38,9 +58,12 @@ struct ExecCtx {
   dev::Addr out_addr = 0;  // FRAM activation output base
   dsp::FftScaling scaling = dsp::FftScaling::kBlockFloat;
   fx::SatStats* stats = nullptr;
+  // Optional cross-layer scratch; kernels fall back to a per-run arena.
+  ScratchArena* arena = nullptr;
 
   const quant::QLayer& q() const { return cm.model.layers[layer]; }
   const LayerImage& img() const { return cm.images[layer]; }
+  const LayerPlan& plan() const { return cm.plans[layer]; }
 };
 
 struct UnitHooks {

@@ -62,12 +62,15 @@ class AceRuntime : public InferenceRuntime {
   void run_all(dev::Device& dev, const ace::CompiledModel& cm, const RunOptions& opts,
                RunStats& st) {
     for (std::size_t l = 0; l < cm.model.layers.size(); ++l) {
-      ace::ExecCtx ctx{dev, cm, l, cm.act_in(l), cm.act_out(l), opts.scaling, opts.stats};
+      ace::ExecCtx ctx{dev, cm, l, cm.act_in(l), cm.act_out(l), opts.scaling, opts.stats,
+                       &arena_};
       ace::UnitHooks hooks;
       hooks.committed = [&st](std::size_t) { ++st.units_executed; };
       ace::run_layer(ctx, 0, hooks);
     }
   }
+
+  ace::ScratchArena arena_;  // reused across layers, attempts and inferences
 };
 
 }  // namespace

@@ -151,7 +151,8 @@ class FlexRuntime : public InferenceRuntime {
                 const ResumePoint& rp, RunStats& st) {
     for (std::size_t l = rp.layer; l < cm.model.layers.size(); ++l) {
       const QLayer& q = cm.model.layers[l];
-      ace::ExecCtx ctx{dev, cm, l, cm.act_in(l), cm.act_out(l), opts.scaling, opts.stats};
+      ace::ExecCtx ctx{dev, cm, l, cm.act_in(l), cm.act_out(l), opts.scaling, opts.stats,
+                       &arena_};
       const bool resuming = l == rp.layer && rp.seq != 0;
 
       ace::UnitHooks hooks;
@@ -310,6 +311,7 @@ class FlexRuntime : public InferenceRuntime {
   bool warned_ = false;
   bool armed_ = false;
   bool degraded_ = false;
+  ace::ScratchArena arena_;  // reused across layers, attempts and inferences
 };
 
 }  // namespace

@@ -71,7 +71,7 @@ class TailsRuntime : public InferenceRuntime {
     for (; layer < cm.model.layers.size(); ++layer) {
       const QLayer& q = cm.model.layers[layer];
       ace::ExecCtx ctx{dev, cm, layer, cm.act_in(layer), cm.act_out(layer), opts.scaling,
-                       opts.stats};
+                       opts.stats, &arena_};
 
       if (q.kind == QKind::kDense && unit > 0) {
         // Rebuild the accumulator from the chunk-parity slots. Commits
@@ -177,6 +177,8 @@ class TailsRuntime : public InferenceRuntime {
 
     ace::run_bcm(ctx, ace::BcmState{start_unit, ace::BcmStage::kLoad, 0, 0, 0}, &obs);
   }
+
+  ace::ScratchArena arena_;  // reused across layers, attempts and inferences
 };
 
 }  // namespace

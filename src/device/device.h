@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "device/cost_model.h"
 #include "device/energy_trace.h"
@@ -68,6 +70,44 @@ class Device {
   fx::q15_t read(MemKind mem, Addr a);
   void write(MemKind mem, Addr a, fx::q15_t v);
 
+  // ---- bulk CPU accesses ----------------------------------------------
+  // Block transfers with the exact cost model of the equivalent scalar
+  // read()/write() sequence, charged as ONE bounds check and ONE
+  // aggregated cost/energy event per call instead of one per word. When
+  // the supply's headroom cannot cover a whole block, every bulk entry
+  // point falls back to the scalar per-word sequence, so a brown-out
+  // mid-block leaves the same word-granular clean FRAM prefix AND the
+  // same prefix-only trace/supply accounting the scalar path would.
+  // (Under a *time-varying* harvest source the aggregated draw samples
+  // income once per block, so later failure timing may shift vs. the
+  // scalar path — see PowerSupply::headroom; outputs and cost totals are
+  // unaffected.)
+  //
+  // set_bulk_enabled(false) forces every bulk entry point through the
+  // scalar per-word loops — the reference mode the perf harness and the
+  // equivalence tests compare against.
+  bool bulk_enabled() const { return bulk_enabled_; }
+  void set_bulk_enabled(bool on) { bulk_enabled_ = on; }
+
+  // out[i] = mem[a + i], costed as out.size() scalar reads.
+  void read_block(MemKind mem, Addr a, std::span<fx::q15_t> out);
+  // mem[a + i] = v[i], costed as v.size() scalar writes.
+  void write_block(MemKind mem, Addr a, std::span<const fx::q15_t> v);
+  // Gathered read: out[i] = mem[base + offsets[i]]. `span_words` bounds
+  // the window [base, base + span_words) that all offsets fall in — the
+  // single range check that replaces the per-word ones.
+  void read_gather(MemKind mem, Addr base, std::span<const std::uint32_t> offsets,
+                   std::size_t span_words, std::span<fx::q15_t> out);
+  // LEA MAC over SRAM operand blocks (identical cost and semantics to
+  // lea_mac, which delegates here): one bounds check per operand and a
+  // tight pointer loop instead of per-word peeks.
+  std::int64_t mac_block(Addr a, Addr b, std::size_t n, bool* overflow = nullptr);
+  // CPU copy loop (the non-DMA arm of ACE's data-movement decision):
+  // per word, 2 ALU ops + one read + one write, charged as three
+  // aggregated events. Torn-prefix semantics preserved for FRAM
+  // destinations as with write_block.
+  void cpu_copy(MemKind src_mem, Addr src, MemKind dst_mem, Addr dst, std::size_t words);
+
   // ---- DMA ------------------------------------------------------------
   // Bulk copy; word-granular effect application so FRAM writes can be
   // torn by a power failure.
@@ -104,6 +144,15 @@ class Device {
  private:
   void spend(Rail rail, double cycles, double extra_energy_joules, double active_power_watts);
 
+  // True when an aggregated draw of `joules` provably cannot brown out,
+  // so per-word accounting can be collapsed without changing which FRAM
+  // words commit before a failure.
+  bool can_bulk_spend(double joules) const;
+  // Total joules spend() would draw for `cycles` at `watts` plus extras.
+  double spend_joules(double cycles, double extra_energy_joules, double watts) const {
+    return watts * cfg_.cost.seconds(cycles) + extra_energy_joules;
+  }
+
   DeviceConfig cfg_;
   MemoryRegion sram_;
   MemoryRegion fram_;
@@ -111,6 +160,8 @@ class Device {
   PowerSupply* supply_ = nullptr;
   Rng scramble_rng_;
   long reboots_ = 0;
+  bool bulk_enabled_ = true;
+  std::vector<fx::cq15> fft_scratch_;  // reused by lea_fft/lea_ifft
 };
 
 }  // namespace ehdnn::dev

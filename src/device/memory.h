@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,20 @@ class MemoryRegion {
   void poke(Addr a, fx::q15_t v) {
     check(a < words_.size(), "MemoryRegion: address out of range");
     words_[a] = v;
+  }
+
+  // Bounds-checked block views: one range check for a whole [a, a+n)
+  // window, then raw storage access. These back the device's bulk
+  // fast paths; like peek/poke they carry no cost accounting.
+  std::span<const fx::q15_t> view(Addr a, std::size_t n) const {
+    check(a <= words_.size() && n <= words_.size() - a,
+          "MemoryRegion: block out of range");
+    return {words_.data() + a, n};
+  }
+  std::span<fx::q15_t> mut_view(Addr a, std::size_t n) {
+    check(a <= words_.size() && n <= words_.size() - a,
+          "MemoryRegion: block out of range");
+    return {words_.data() + a, n};
   }
 
   // Volatile loss at reboot: scramble contents deterministically. A

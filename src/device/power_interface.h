@@ -10,6 +10,7 @@
 #pragma once
 
 #include <exception>
+#include <limits>
 
 namespace ehdnn::dev {
 
@@ -29,6 +30,21 @@ class PowerSupply {
 
   // Current storage voltage — what FLEX's voltage monitor samples.
   virtual double voltage() const = 0;
+
+  // Conservative lower bound on the energy (joules) that can be drawn
+  // before brown-out, ignoring harvest income. The device's bulk-access
+  // fast paths use this to decide whether a whole block can be charged in
+  // one aggregated event: if the block's energy fits the headroom, the
+  // draw provably succeeds (income only adds). Near brown-out the device
+  // falls back to word-granular accounting so blocks tear — and charge
+  // the supply — exactly like the scalar path. Note the aggregated draw samples
+  // harvest income once over the block window instead of per word, so
+  // under a time-varying source the stored-energy trajectory — and hence
+  // *later* failure timing — may differ slightly from the scalar path;
+  // device-side cost totals and (by the runtimes' checkpoint contract)
+  // inference outputs are unaffected. Supplies that never fail report
+  // infinity.
+  virtual double headroom() const { return std::numeric_limits<double>::infinity(); }
 
   virtual bool on() const = 0;
 

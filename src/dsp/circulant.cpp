@@ -7,10 +7,11 @@
 
 namespace ehdnn::dsp {
 
-std::vector<double> circ_conv_ref(std::span<const double> c, std::span<const double> x) {
+void circ_conv_ref(std::span<const double> c, std::span<const double> x,
+                   std::span<double> y) {
   const std::size_t k = c.size();
   check(x.size() == k, "circ_conv_ref: size mismatch");
-  std::vector<double> y(k, 0.0);
+  check(y.size() == k, "circ_conv_ref: output size mismatch");
   for (std::size_t i = 0; i < k; ++i) {
     double acc = 0.0;
     for (std::size_t j = 0; j < k; ++j) {
@@ -18,15 +19,24 @@ std::vector<double> circ_conv_ref(std::span<const double> c, std::span<const dou
     }
     y[i] = acc;
   }
+}
+
+std::vector<double> circ_conv_ref(std::span<const double> c, std::span<const double> x) {
+  std::vector<double> y(c.size(), 0.0);
+  circ_conv_ref(c, x, y);
   return y;
 }
 
-std::vector<double> circulant_matvec(std::span<const double> first_col,
-                                     std::span<const double> x) {
+void circulant_matvec(std::span<const double> first_col, std::span<const double> x,
+                      CirculantScratch& scratch, std::span<double> y) {
   const std::size_t k = first_col.size();
   check(x.size() == k, "circulant_matvec: size mismatch");
+  check(y.size() == k, "circulant_matvec: output size mismatch");
   check(is_pow2(k), "circulant_matvec: block size must be a power of two");
-  std::vector<std::complex<double>> fc(k), fx_(k);
+  if (scratch.fc.size() < k) scratch.fc.resize(k);
+  if (scratch.fx.size() < k) scratch.fx.resize(k);
+  const std::span<std::complex<double>> fc(scratch.fc.data(), k);
+  const std::span<std::complex<double>> fx_(scratch.fx.data(), k);
   for (std::size_t i = 0; i < k; ++i) {
     fc[i] = first_col[i];
     fx_[i] = x[i];
@@ -35,8 +45,14 @@ std::vector<double> circulant_matvec(std::span<const double> first_col,
   fft(fx_);
   for (std::size_t i = 0; i < k; ++i) fc[i] *= fx_[i];
   ifft(fc);
-  std::vector<double> y(k);
   for (std::size_t i = 0; i < k; ++i) y[i] = fc[i].real();
+}
+
+std::vector<double> circulant_matvec(std::span<const double> first_col,
+                                     std::span<const double> x) {
+  CirculantScratch scratch;
+  std::vector<double> y(first_col.size());
+  circulant_matvec(first_col, x, scratch, y);
   return y;
 }
 
@@ -75,15 +91,19 @@ void shift_buffer(std::span<fx::cq15> v, int right_shift) {
 
 }  // namespace
 
-ScaledVecQ15 circulant_matvec_q15(std::span<const fx::q15_t> first_col,
-                                  std::span<const fx::q15_t> x, FftScaling scaling,
-                                  fx::SatStats* stats) {
+int circulant_matvec_q15(std::span<const fx::q15_t> first_col, std::span<const fx::q15_t> x,
+                         FftScaling scaling, CirculantScratchQ15& scratch,
+                         std::span<fx::q15_t> out, fx::SatStats* stats) {
   const std::size_t k = first_col.size();
   check(x.size() == k, "circulant_matvec_q15: size mismatch");
+  check(out.size() == k, "circulant_matvec_q15: output size mismatch");
   check(is_pow2(k), "circulant_matvec_q15: block size must be a power of two");
+  if (scratch.cw.size() < k) scratch.cw.resize(k);
+  if (scratch.cx.size() < k) scratch.cx.resize(k);
+  const std::span<fx::cq15> cw(scratch.cw.data(), k);
+  const std::span<fx::cq15> cx(scratch.cx.data(), k);
 
   // COMPLEX: interleave with zero imaginary parts.
-  std::vector<fx::cq15> cw(k), cx(k);
   for (std::size_t i = 0; i < k; ++i) {
     cw[i] = {first_col[i], 0};
     cx[i] = {x[i], 0};
@@ -110,10 +130,17 @@ ScaledVecQ15 circulant_matvec_q15(std::span<const fx::q15_t> first_col,
   // IFFT and REAL.
   exponent += ifft_q15(cw, scaling, stats);
 
+  for (std::size_t i = 0; i < k; ++i) out[i] = cw[i].re;
+  return exponent;
+}
+
+ScaledVecQ15 circulant_matvec_q15(std::span<const fx::q15_t> first_col,
+                                  std::span<const fx::q15_t> x, FftScaling scaling,
+                                  fx::SatStats* stats) {
+  CirculantScratchQ15 scratch;
   ScaledVecQ15 out;
-  out.data.resize(k);
-  for (std::size_t i = 0; i < k; ++i) out.data[i] = cw[i].re;
-  out.exponent = exponent;
+  out.data.resize(first_col.size());
+  out.exponent = circulant_matvec_q15(first_col, x, scaling, scratch, out.data, stats);
   return out;
 }
 

@@ -23,10 +23,23 @@ namespace ehdnn::dsp {
 
 // Naive O(k^2) circular convolution (test oracle / training reference).
 std::vector<double> circ_conv_ref(std::span<const double> c, std::span<const double> x);
+// Allocation-free overload for bench loops: y must have c.size() elements.
+void circ_conv_ref(std::span<const double> c, std::span<const double> x,
+                   std::span<double> y);
+
+// Reusable scratch for the double-precision FFT path: hoist one of these
+// out of a loop and every iteration runs allocation-free (buffers grow
+// once to the largest k seen).
+struct CirculantScratch {
+  std::vector<std::complex<double>> fc, fx;
+};
 
 // FFT-based C*x in double precision; k must be a power of two.
 std::vector<double> circulant_matvec(std::span<const double> first_col,
                                      std::span<const double> x);
+// Allocation-free overload: y must have first_col.size() elements.
+void circulant_matvec(std::span<const double> first_col, std::span<const double> x,
+                      CirculantScratch& scratch, std::span<double> y);
 
 // Q15 circulant mat-vec result before the final narrowing: interleaved
 // real values plus the exponent such that true value = data * 2^exponent.
@@ -59,6 +72,19 @@ GuardShifts product_guard(int max_w, int max_x);
 ScaledVecQ15 circulant_matvec_q15(std::span<const fx::q15_t> first_col,
                                   std::span<const fx::q15_t> x, FftScaling scaling,
                                   fx::SatStats* stats = nullptr);
+
+// Reusable scratch for the q15 path (complex work buffers + the output
+// staging): lets constraint-heavy inner loops (qexec's per-block calls,
+// bench sweeps) run with zero steady-state allocations.
+struct CirculantScratchQ15 {
+  std::vector<fx::cq15> cw, cx;
+};
+
+// Allocation-free overload: writes the un-narrowed real parts into `out`
+// (first_col.size() elements) and returns the combined exponent.
+int circulant_matvec_q15(std::span<const fx::q15_t> first_col, std::span<const fx::q15_t> x,
+                         FftScaling scaling, CirculantScratchQ15& scratch,
+                         std::span<fx::q15_t> out, fx::SatStats* stats = nullptr);
 
 // Narrow a scaled vector to plain q15 (value domain [-1, 1)), applying the
 // exponent with rounding and saturation. This is Algorithm 1's SCALE-UP.

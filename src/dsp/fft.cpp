@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 
 #include "util/check.h"
@@ -67,17 +69,43 @@ std::vector<std::complex<double>> dft_naive(std::span<const std::complex<double>
   return out;
 }
 
-const std::vector<fx::cq15>& twiddles_q15(std::size_t n) {
-  static std::map<std::size_t, std::vector<fx::cq15>> cache;
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
-  std::vector<fx::cq15> tw(n / 2);
+namespace {
+
+std::unique_ptr<const FftPlan> build_plan(std::size_t n) {
+  auto plan = std::make_unique<FftPlan>();
+  plan->n = n;
+  plan->twiddles.resize(n / 2);
   for (std::size_t k = 0; k < n / 2; ++k) {
     const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
-    tw[k] = {fx::to_q15(std::cos(ang)), fx::to_q15(std::sin(ang))};
+    plan->twiddles[k] = {fx::to_q15(std::cos(ang)), fx::to_q15(std::sin(ang))};
   }
-  return cache.emplace(n, std::move(tw)).first->second;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      plan->swaps.emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+    }
+  }
+  return plan;
 }
+
+}  // namespace
+
+const FftPlan& fft_plan(std::size_t n) {
+  check(is_pow2(n), "fft_plan size must be a power of two");
+  // unique_ptr indirection keeps returned references stable no matter
+  // what the cache container does; the mutex covers concurrent
+  // first-touch builds of the same (or different) sizes.
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<const FftPlan>> cache;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[n];
+  if (slot == nullptr) slot = build_plan(n);
+  return *slot;
+}
+
+const std::vector<fx::cq15>& twiddles_q15(std::size_t n) { return fft_plan(n).twiddles; }
 
 namespace {
 
@@ -120,8 +148,9 @@ int fft_q15(std::span<fx::cq15> data, FftScaling scaling, fx::SatStats* stats) {
   const std::size_t n = data.size();
   check(is_pow2(n), "fft_q15 size must be a power of two");
   if (n == 1) return 0;
-  const auto& tw = twiddles_q15(n);
-  bit_reverse(data);
+  const FftPlan& plan = fft_plan(n);
+  const auto& tw = plan.twiddles;
+  for (const auto& [i, j] : plan.swaps) std::swap(data[i], data[j]);
   int exponent = 0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
     int pre_shift = 0;

@@ -22,7 +22,9 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "fixed/cq15.h"
@@ -55,8 +57,21 @@ int fft_q15(std::span<fx::cq15> data, FftScaling scaling, fx::SatStats* stats = 
 // In-place inverse FFT (true IDFT including 1/N), same conventions.
 int ifft_q15(std::span<fx::cq15> data, FftScaling scaling, fx::SatStats* stats = nullptr);
 
-// Twiddle table W_N^k = exp(-2*pi*i*k/N), k in [0, N/2), quantized to q15.
-// Cached per size; the reference for the LEA's ROM twiddle tables.
+// Precomputed per-size transform plan: the q15 twiddle ROM plus the
+// bit-reversal permutation as an explicit swap list, so fft_q15 performs
+// zero per-call setup arithmetic. Plans are built once per size in a
+// mutex-guarded cache and live behind stable storage, so the returned
+// reference stays valid forever — safe under concurrent first-touch from
+// multiple threads and immune to any future cache-container rehash/move.
+struct FftPlan {
+  std::size_t n = 0;
+  std::vector<fx::cq15> twiddles;  // W_n^k = exp(-2*pi*i*k/n), k in [0, n/2)
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> swaps;  // bit-reversal, i < j
+};
+const FftPlan& fft_plan(std::size_t n);
+
+// Twiddle table view of the plan (the reference for the LEA's ROM twiddle
+// tables). Kept for callers that only need the ROM.
 const std::vector<fx::cq15>& twiddles_q15(std::size_t n);
 
 }  // namespace ehdnn::dsp

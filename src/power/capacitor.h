@@ -50,6 +50,10 @@ class CapacitorSupply : public dev::PowerSupply {
     return std::sqrt(2.0 * energy_ / cfg_.capacitance_f);
   }
 
+  double headroom() const override {
+    return std::max(0.0, energy_ - energy_at(cfg_.v_off));
+  }
+
   bool on() const override { return on_; }
 
   double recharge_to_on() override {

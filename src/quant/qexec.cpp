@@ -113,16 +113,19 @@ std::vector<q15_t> run_bcm(const QLayer& l, std::span<const q15_t> x, const QExe
   // accumulator held in units of 2^-lg q15 LSBs, which covers the most
   // negative exponent the BFP inverse FFT can produce (see qmodel.h).
   std::vector<std::int64_t> acc(k);
+  dsp::CirculantScratchQ15 scratch;
+  std::vector<q15_t> blk(k);
   for (std::size_t bi = 0; bi < l.bp; ++bi) {
     std::fill(acc.begin(), acc.end(), std::int64_t{0});
     for (std::size_t bj = 0; bj < l.bq; ++bj) {
       std::span<const q15_t> col(&l.weights[(bi * l.bq + bj) * k], k);
       std::span<const q15_t> xblk(&xpad[bj * k], k);
-      auto blk = dsp::circulant_matvec_q15(col, xblk, scaling, opts.stats);
-      const int shift = blk.exponent + lg;
+      const int exponent = dsp::circulant_matvec_q15(col, xblk, scaling, scratch, blk,
+                                                     opts.stats);
+      const int shift = exponent + lg;
       check(shift >= 0, "run_bcm: unexpected negative aligned exponent");
       for (std::size_t t = 0; t < k; ++t) {
-        acc[t] += static_cast<std::int64_t>(blk.data[t]) << shift;
+        acc[t] += static_cast<std::int64_t>(blk[t]) << shift;
       }
     }
     // SCALE-UP + narrowing to the output scale. acc is in units of
