@@ -79,38 +79,15 @@ inline LayerWorkload fc_micro_workload() {
 
 // Timing and energy are data-independent (fixed loop bounds), so the
 // benches run randomly initialized models; accuracy is Table II's job.
+// (Shared with the scenario engine — see models::make_deployed_qmodel.)
 inline quant::QuantModel make_qmodel(models::Task task, bool compressed, Rng& rng) {
-  models::ModelInfo info = models::model_info(task);
-  nn::Model m = compressed ? models::make_model(task, rng) : models::make_dense_model(task, rng);
-  if (compressed && info.pruned_conv_layer >= 0) {
-    auto* conv =
-        dynamic_cast<nn::Conv2D*>(&m.layer(static_cast<std::size_t>(info.pruned_conv_layer)));
-    if (conv != nullptr) {
-      std::vector<bool> mask(conv->kernel_h() * conv->kernel_w(), false);
-      for (std::size_t i = 0; i < info.prune_keep_positions; ++i) mask[i] = true;
-      conv->set_shape_mask(mask);
-    }
-  }
-  std::vector<nn::Tensor> calib;
-  for (int i = 0; i < 4; ++i) {
-    nn::Tensor t(info.input_shape);
-    for (std::size_t j = 0; j < t.size(); ++j) {
-      t[j] = static_cast<float>(rng.uniform(-0.9, 0.9));
-    }
-    calib.push_back(std::move(t));
-  }
-  quant::QuantizeOptions qo;
-  qo.model_name = models::task_name(task);
-  return quant::quantize(m, calib, info.input_shape, qo);
+  return models::make_deployed_qmodel(task, compressed, rng);
 }
 
-// The uncompressed HAR/OKG models exceed the real board's 256 KB FRAM
-// (itself a headline result — see EXPERIMENTS.md); baselines execute on a
-// virtually enlarged FRAM so their time/energy remain measurable.
+// Device geometry for the deployed models (enlarged FRAM for the
+// uncompressed baselines) — shared with the scenario engine.
 inline dev::DeviceConfig device_for(bool compressed) {
-  dev::DeviceConfig cfg;
-  if (!compressed) cfg.fram_words = 8 * 1024 * 1024;
-  return cfg;
+  return models::deployment_device_config(compressed);
 }
 
 // Intermittent-power scenario. The paper's testbed pairs a 100 uF buffer

@@ -8,16 +8,28 @@
 // and BENCH_e2e.json in the working directory so successive PRs leave a
 // measured trajectory.
 //
-// Usage: perf_harness [--smoke] [--out-dir DIR]
+// Usage: perf_harness [--smoke] [--out-dir DIR] [--check-against DIR]
 //   --smoke    tiny sizes and rep counts; used by the ctest `bench_smoke`
 //              entry so harness bit-rot (or a bulk/scalar divergence)
 //              fails tier-1.
-// Exit code is non-zero if any equivalence check fails.
+//   --check-against DIR
+//              perf-regression gate (the CI entry): after measuring,
+//              compare against DIR's committed BENCH_micro.json /
+//              BENCH_e2e.json. Modeled cycle/energy totals must match the
+//              baseline exactly (1e-9 relative) — they are deterministic,
+//              so any drift means the cost model or an execution path
+//              changed and the baselines need a deliberate refresh. Host
+//              wall-clock is machine-dependent and compared
+//              advisory-only (printed, never fails the gate).
+// Exit code is non-zero if any equivalence check fails, 3 on baseline
+// drift.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -175,10 +187,12 @@ KernelResult bench_circulant(std::size_t k, int reps) {
   return r;
 }
 
+// 12 significant digits so the committed baselines round-trip well below
+// the gate's 1e-9 relative tolerance (6 digits would quantize right at it).
 void json_opt(std::FILE* f, const char* key, const std::optional<double>& v,
               const char* suffix) {
   if (v) {
-    std::fprintf(f, "\"%s\": %.6g%s", key, *v, suffix);
+    std::fprintf(f, "\"%s\": %.12g%s", key, *v, suffix);
   } else {
     std::fprintf(f, "\"%s\": null%s", key, suffix);
   }
@@ -198,7 +212,7 @@ bool write_micro_json(const std::string& path, const std::vector<KernelResult>& 
     const KernelResult& r = rs[i];
     std::fprintf(f, "    {\"name\": \"%s\", \"reps\": %d, ", r.name.c_str(), r.reps);
     json_opt(f, "wall_ns_per_run_scalar", r.wall_ns_scalar, ", ");
-    std::fprintf(f, "\"wall_ns_per_run_bulk\": %.6g, ", r.wall_ns_bulk);
+    std::fprintf(f, "\"wall_ns_per_run_bulk\": %.12g, ", r.wall_ns_bulk);
     json_opt(f, "speedup", r.speedup(), ", ");
     json_opt(f, "modeled_cycles", r.modeled_cycles, ", ");
     json_opt(f, "modeled_energy_j", r.modeled_energy, ", ");
@@ -222,7 +236,7 @@ bool write_e2e_json(const std::string& path, const KernelResult& r, bool smoke) 
   std::fprintf(f, "  \"model\": \"%s\",\n  \"reps\": %d,\n", r.name.c_str(), r.reps);
   std::fprintf(f, "  ");
   json_opt(f, "wall_ns_per_run_scalar", r.wall_ns_scalar, ",\n  ");
-  std::fprintf(f, "\"wall_ns_per_run_bulk\": %.6g,\n  ", r.wall_ns_bulk);
+  std::fprintf(f, "\"wall_ns_per_run_bulk\": %.12g,\n  ", r.wall_ns_bulk);
   json_opt(f, "speedup", r.speedup(), ",\n  ");
   json_opt(f, "modeled_cycles", r.modeled_cycles, ",\n  ");
   json_opt(f, "modeled_energy_j", r.modeled_energy, ",\n  ");
@@ -230,6 +244,157 @@ bool write_e2e_json(const std::string& path, const KernelResult& r, bool smoke) 
                r.bit_exact ? "true" : "false", r.cost_match ? "true" : "false");
   std::fclose(f);
   return true;
+}
+
+// --- baseline gate ----------------------------------------------------------
+// Minimal parsing of the harness's own JSON output (key scanning — the
+// writer above controls the format, so no general JSON parser is needed).
+
+// Prefix parse by design: the value sits mid-line, so unlike
+// util/parse.h's full-field parse_double this must NOT require consuming
+// the rest of the text (a JSON `null` simply fails to parse).
+std::optional<double> scan_num(const std::string& text, const std::string& key,
+                               std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return std::nullopt;
+  const char* s = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) return std::nullopt;  // e.g. null
+  return v;
+}
+
+std::optional<std::string> scan_str(const std::string& text, const std::string& key,
+                                    std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t start = at + needle.size();
+  const std::size_t close = text.find('"', start);
+  if (close == std::string::npos) return std::nullopt;
+  return text.substr(start, close - start);
+}
+
+struct Baseline {
+  std::string mode;
+  // Per kernel name (micro) or model name (e2e).
+  struct Entry {
+    std::optional<double> cycles, energy, wall_bulk;
+  };
+  std::vector<std::pair<std::string, Entry>> entries;
+};
+
+std::optional<Baseline> load_baseline(const std::string& path, bool per_line) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    std::fprintf(stderr, "perf_harness: cannot read baseline %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  Baseline b;
+  b.mode = scan_str(text, "mode").value_or("");
+  if (per_line) {
+    // BENCH_micro.json: one kernel object per line.
+    std::stringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const auto name = scan_str(line, "name");
+      if (!name) continue;
+      b.entries.push_back(
+          {*name, {scan_num(line, "modeled_cycles"), scan_num(line, "modeled_energy_j"),
+                   scan_num(line, "wall_ns_per_run_bulk")}});
+    }
+  } else {
+    // BENCH_e2e.json: a single object.
+    const auto name = scan_str(text, "model");
+    if (name) {
+      b.entries.push_back(
+          {*name, {scan_num(text, "modeled_cycles"), scan_num(text, "modeled_energy_j"),
+                   scan_num(text, "wall_ns_per_run_bulk")}});
+    }
+  }
+  return b;
+}
+
+// Compares one measured kernel against the baseline entry of the same
+// name. Returns false on modeled-cost drift; wall-clock is advisory.
+bool check_entry(const KernelResult& r, const Baseline& b) {
+  for (const auto& [name, e] : b.entries) {
+    if (name != r.name) continue;
+    bool ok = true;
+    if (e.cycles && r.modeled_cycles && !close(*e.cycles, *r.modeled_cycles)) {
+      std::fprintf(stderr, "perf gate: %s modeled_cycles drifted %.6g -> %.6g\n",
+                   r.name.c_str(), *e.cycles, *r.modeled_cycles);
+      ok = false;
+    }
+    if (e.energy && r.modeled_energy && !close(*e.energy, *r.modeled_energy)) {
+      std::fprintf(stderr, "perf gate: %s modeled_energy_j drifted %.6g -> %.6g\n",
+                   r.name.c_str(), *e.energy, *r.modeled_energy);
+      ok = false;
+    }
+    if (e.cycles.has_value() != r.modeled_cycles.has_value() ||
+        e.energy.has_value() != r.modeled_energy.has_value()) {
+      std::fprintf(stderr, "perf gate: %s modeled fields appeared/vanished vs baseline\n",
+                   r.name.c_str());
+      ok = false;
+    }
+    if (e.wall_bulk && r.wall_ns_bulk > 0.0) {
+      std::printf("perf gate: %-28s wall %.2fx baseline (advisory)\n", r.name.c_str(),
+                  r.wall_ns_bulk / *e.wall_bulk);
+    }
+    return ok;
+  }
+  std::printf("perf gate: %s not in baseline (new kernel; advisory)\n", r.name.c_str());
+  return true;
+}
+
+// The CI perf-regression gate. Fails (false) only on deterministic
+// modeled-cost drift or a mode mismatch, never on wall-clock.
+bool check_against(const std::string& dir, const std::vector<KernelResult>& micro,
+                   const KernelResult& e2e, bool smoke) {
+  const auto bm = load_baseline(dir + "/BENCH_micro.json", /*per_line=*/true);
+  const auto be = load_baseline(dir + "/BENCH_e2e.json", /*per_line=*/false);
+  if (!bm || !be) return false;
+  if (bm->entries.empty() || be->entries.empty()) {
+    // An unparsable baseline must fail loudly, not pass vacuously (the
+    // scanner expects the harness's own one-kernel-per-line format).
+    std::fprintf(stderr, "perf gate: baseline parsed to zero entries — reformatted file?\n");
+    return false;
+  }
+  const std::string want = smoke ? "smoke" : "full";
+  if (bm->mode != want || be->mode != want) {
+    std::fprintf(stderr,
+                 "perf gate: baseline mode \"%s\"/\"%s\" does not match this run (\"%s\") — "
+                 "run the gate in the mode the baselines were recorded in\n",
+                 bm->mode.c_str(), be->mode.c_str(), want.c_str());
+    return false;
+  }
+  bool ok = true;
+  for (const auto& r : micro) ok = check_entry(r, *bm) && ok;
+  ok = check_entry(e2e, *be) && ok;
+  for (const auto& [name, e] : bm->entries) {
+    bool found = false;
+    for (const auto& r : micro) found = found || r.name == name;
+    if (!found) {
+      std::fprintf(stderr, "perf gate: baseline kernel %s no longer measured\n",
+                   name.c_str());
+      ok = false;
+    }
+  }
+  // Same reverse check for the e2e baseline: a renamed e2e model must not
+  // turn the gate into a vacuous pass.
+  for (const auto& [name, e] : be->entries) {
+    if (name != e2e.name) {
+      std::fprintf(stderr, "perf gate: baseline e2e model %s no longer measured (now %s)\n",
+                   name.c_str(), e2e.name.c_str());
+      ok = false;
+    }
+  }
+  std::printf("perf gate: %s\n", ok ? "PASS (modeled costs match baseline)" : "FAIL");
+  return ok;
 }
 
 void print_result(const KernelResult& r) {
@@ -247,13 +412,17 @@ void print_result(const KernelResult& r) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_dir = ".";
+  std::string check_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--check-against") == 0 && i + 1 < argc) {
+      check_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: perf_harness [--smoke] [--out-dir DIR]\n");
+      std::fprintf(stderr,
+                   "usage: perf_harness [--smoke] [--out-dir DIR] [--check-against DIR]\n");
       return 2;
     }
   }
@@ -329,5 +498,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "perf_harness: bulk/scalar equivalence FAILED\n");
     return 1;
   }
-  return wrote ? 0 : 1;
+  if (!wrote) return 1;
+  if (!check_dir.empty() && !check_against(check_dir, micro, e2e, smoke)) return 3;
+  return 0;
 }

@@ -35,7 +35,7 @@ int main() {
   rad::RadResult rad_out = rad::run_rad(cfg, rng);
   std::printf("[RAD] float accuracy %.1f%%, 16-bit fixed-point accuracy %.1f%%\n",
               100.0 * rad_out.float_accuracy, 100.0 * rad_out.quant_accuracy);
-  std::printf("[RAD] deployable weights: %zu KiB (dense equivalent would be ~%zu KiB)\n",
+  std::printf("[RAD] deployable weights: %zu KiB (dense equivalent would be ~%d KiB)\n",
               rad_out.qmodel.weight_bytes() / 1024, (150 * 1024 + 512) / 1024);
 
   // --- ACE: compile onto the device --------------------------------------

@@ -34,7 +34,7 @@ class AceRuntime : public InferenceRuntime {
       try {
         load_input(dev, cm, input);  // restart implies re-acquiring input
         run_all(dev, cm, opts, st);
-        st.completed = true;
+        mark_completed(st);
         break;
       } catch (const dev::PowerFailure&) {
         const double attempt_cycles = dev.trace().total_cycles() - attempt_start;
@@ -45,11 +45,10 @@ class AceRuntime : public InferenceRuntime {
           ++stale_attempts;
         }
         if (stale_attempts >= kPatience || dev.reboots() - base.reboots >= opts.max_reboots) {
-          st.completed = false;
+          st.outcome = Outcome::kDidNotFinish;
           break;
         }
-        st.off_seconds += dev.supply()->recharge_to_on();
-        dev.reboot();
+        if (!recover_from_failure(dev, st)) break;
       }
     }
 

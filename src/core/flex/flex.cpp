@@ -98,12 +98,11 @@ class FlexRuntime : public InferenceRuntime {
         prev_rp = rp;
         have_prev = true;
         run_from(dev, cm, opts, rp, st);
-        st.completed = true;
+        mark_completed(st);
         break;
       } catch (const dev::PowerFailure&) {
         if (dev.reboots() - base.reboots >= opts.max_reboots) break;
-        st.off_seconds += dev.supply()->recharge_to_on();
-        dev.reboot();
+        if (!recover_from_failure(dev, st)) break;
         warned_ = false;
         armed_ = false;
       }
@@ -238,6 +237,7 @@ class FlexRuntime : public InferenceRuntime {
                         std::size_t unit, int kind, const ace::BcmState* bcm,
                         const QLayer* q, RunStats& st) {
     const auto before = dev.trace().snapshot();
+    notify_supply(dev, dev::SupplyEvent::kCheckpointBegin);
     const std::size_t next_seq = seq_ + 1;
     const Addr b = slot_addr(cm, next_seq & 1);
 
@@ -264,6 +264,7 @@ class FlexRuntime : public InferenceRuntime {
       dev.write(MemKind::kFram, b + kExpP, static_cast<q15_t>(bcm->exp_p));
     }
     dev.write(MemKind::kFram, b + kSeq, static_cast<q15_t>(next_seq));
+    notify_supply(dev, dev::SupplyEvent::kCheckpointEnd);
     seq_ = next_seq;
 
     const auto delta = dev.trace().delta(before);

@@ -2,6 +2,34 @@
 
 namespace ehdnn::flex {
 
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kDidNotFinish: return "dnf";
+    case Outcome::kStarved: return "starved";
+  }
+  return "?";
+}
+
+void mark_completed(RunStats& st) {
+  st.completed = true;
+  st.outcome = Outcome::kCompleted;
+}
+
+bool recover_from_failure(dev::Device& dev, RunStats& st) {
+  st.off_seconds += dev.supply()->recharge_to_on();
+  if (!dev.supply()->on()) {
+    st.outcome = Outcome::kStarved;
+    return false;
+  }
+  dev.reboot();
+  return true;
+}
+
+void notify_supply(dev::Device& dev, dev::SupplyEvent e) {
+  if (dev.supply() != nullptr) dev.supply()->notify(e);
+}
+
 void load_input(dev::Device& dev, const ace::CompiledModel& cm,
                 std::span<const fx::q15_t> input) {
   check(input.size() == cm.model.layers.front().in_size(), "load_input: size mismatch");

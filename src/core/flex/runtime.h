@@ -39,8 +39,18 @@
 
 namespace ehdnn::flex {
 
+// How a run ended. kDidNotFinish covers both the reboot cap and the
+// livelock guard (the paper's Fig. 7b "X"); kStarved means the harvester
+// never refilled the capacitor within its max_off_s guard — a property of
+// the power scenario, not of the runtime, and reported distinctly so a
+// scenario sweep can tell the two failure modes apart.
+enum class Outcome { kCompleted, kDidNotFinish, kStarved };
+
+const char* outcome_name(Outcome o);
+
 struct RunStats {
-  bool completed = false;
+  bool completed = false;  // outcome == kCompleted, kept for convenience
+  Outcome outcome = Outcome::kDidNotFinish;
   std::vector<fx::q15_t> output;
 
   double on_seconds = 0.0;      // device-active time
@@ -103,6 +113,20 @@ void load_input(dev::Device& dev, const ace::CompiledModel& cm,
 // Reads the final output from the last layer's activation buffer
 // (cost-free extraction for comparison).
 std::vector<fx::q15_t> read_output(dev::Device& dev, const ace::CompiledModel& cm);
+
+// Marks a successful run on the stats (completed + outcome).
+void mark_completed(RunStats& st);
+
+// Shared post-failure step: recharge the supply, detect starvation,
+// reboot the device. Returns false when the run must stop because the
+// harvester starved (outcome already recorded on `st`); the caller breaks
+// its retry loop. Off-time is accumulated on `st`.
+bool recover_from_failure(dev::Device& dev, RunStats& st);
+
+// Announces an execution landmark to the attached supply (no-op without
+// one). Runtimes call this at progress-commit and checkpoint boundaries so
+// schedule-driven supplies can inject failures at adversarial instants.
+void notify_supply(dev::Device& dev, dev::SupplyEvent e);
 
 // Start-of-inference marker so stats are per-inference deltas even when a
 // device instance runs many inferences.

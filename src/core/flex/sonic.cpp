@@ -51,12 +51,11 @@ class SonicRuntime : public InferenceRuntime {
     while (true) {
       try {
         run_from_ctrl(dev, cm, st);
-        st.completed = true;
+        mark_completed(st);
         break;
       } catch (const dev::PowerFailure&) {
         if (dev.reboots() - base.reboots >= opts.max_reboots) break;
-        st.off_seconds += dev.supply()->recharge_to_on();
-        dev.reboot();
+        if (!recover_from_failure(dev, st)) break;
       }
     }
 
@@ -95,23 +94,29 @@ class SonicRuntime : public InferenceRuntime {
       outer = 0;
       tile = 0;
       // Layer transition (inner-first commit order).
+      notify_supply(dev, dev::SupplyEvent::kCommitBegin);
       dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
       dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
       dev.write(MemKind::kFram, cm.ctrl_base + 0, static_cast<q15_t>(layer + 1));
+      notify_supply(dev, dev::SupplyEvent::kCommitEnd);
     }
   }
 
   void commit_inner(dev::Device& dev, const ace::CompiledModel& cm, std::size_t tile,
                     RunStats& st) {
+    notify_supply(dev, dev::SupplyEvent::kCommitBegin);
     dev.write(MemKind::kFram, cm.ctrl_base + 2, static_cast<q15_t>(tile));
+    notify_supply(dev, dev::SupplyEvent::kCommitEnd);
     ++st.progress_commits;
     ++st.units_executed;
   }
 
   void commit_outer(dev::Device& dev, const ace::CompiledModel& cm, std::size_t outer,
                     RunStats& st) {
+    notify_supply(dev, dev::SupplyEvent::kCommitBegin);
     dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
     dev.write(MemKind::kFram, cm.ctrl_base + 1, static_cast<q15_t>(outer));
+    notify_supply(dev, dev::SupplyEvent::kCommitEnd);
     ++st.progress_commits;
   }
 

@@ -48,12 +48,11 @@ class TailsRuntime : public InferenceRuntime {
     while (true) {
       try {
         run_from_ctrl(dev, cm, opts, st);
-        st.completed = true;
+        mark_completed(st);
         break;
       } catch (const dev::PowerFailure&) {
         if (dev.reboots() - base.reboots >= opts.max_reboots) break;
-        st.off_seconds += dev.supply()->recharge_to_on();
-        dev.reboot();
+        if (!recover_from_failure(dev, st)) break;
       }
     }
 
@@ -102,6 +101,7 @@ class TailsRuntime : public InferenceRuntime {
 
       ace::UnitHooks hooks;
       hooks.committed = [&](std::size_t u) {
+        notify_supply(dev, dev::SupplyEvent::kCommitBegin);
         if (q.kind == QKind::kDense) {
           // Chunk-parity, block-granular accumulator commit (W-A-R safe:
           // a torn block write is re-read from the untouched old slot).
@@ -115,6 +115,7 @@ class TailsRuntime : public InferenceRuntime {
                           slot + 2 * o_lo, 2 * (o_hi - o_lo));
         }
         dev.write(MemKind::kFram, cm.ctrl_base + 1, static_cast<q15_t>(u + 1));
+        notify_supply(dev, dev::SupplyEvent::kCommitEnd);
         ++st.progress_commits;
         ++st.units_executed;
       };
@@ -126,8 +127,10 @@ class TailsRuntime : public InferenceRuntime {
       }
 
       unit = 0;
+      notify_supply(dev, dev::SupplyEvent::kCommitBegin);
       dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
       dev.write(MemKind::kFram, cm.ctrl_base + 0, static_cast<q15_t>(layer + 1));
+      notify_supply(dev, dev::SupplyEvent::kCommitEnd);
     }
   }
 
@@ -161,15 +164,19 @@ class TailsRuntime : public InferenceRuntime {
       void on_block_done(ace::ExecCtx& c, std::size_t block) override {
         const std::size_t kk = c.q().k;
         if ((block + 1) % c.q().bq == 0) return;  // deferred to the row commit
+        notify_supply(c.dev, dev::SupplyEvent::kCommitBegin);
         const Addr slot = c.cm.nv_acc_base + ((block + 1) & 1) * c.cm.nv_acc_slot_words;
         ace::move_words(c.dev, MemKind::kSram, c.cm.sram.acc32, MemKind::kFram, slot, 4 * kk);
         c.dev.write(MemKind::kFram, c.cm.ctrl_base + 1, static_cast<q15_t>(block + 1));
+        notify_supply(c.dev, dev::SupplyEvent::kCommitEnd);
         ++st.progress_commits;
         ++st.units_executed;
       }
       void on_row_committed(ace::ExecCtx& c, std::size_t bi) override {
+        notify_supply(c.dev, dev::SupplyEvent::kCommitBegin);
         c.dev.write(MemKind::kFram, c.cm.ctrl_base + 1,
                     static_cast<q15_t>((bi + 1) * c.q().bq));
+        notify_supply(c.dev, dev::SupplyEvent::kCommitEnd);
         ++st.progress_commits;
         ++st.units_executed;
       }

@@ -406,6 +406,7 @@ void Device::reboot() {
   // Boot sequence: clock/FRAM controller init, reset vector dispatch.
   // Charged to the CPU rail once back on.
   spend(Rail::kCpu, 400.0, 0.0, cfg_.cost.p_cpu_active);
+  if (supply_ != nullptr) supply_->notify(SupplyEvent::kReboot);
 }
 
 double Device::sample_voltage() {

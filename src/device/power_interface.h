@@ -19,6 +19,19 @@ class PowerFailure : public std::exception {
   const char* what() const noexcept override { return "power failure (brown-out)"; }
 };
 
+// Execution landmarks the intermittent runtimes announce to the supply.
+// Physical supplies ignore them; schedule-driven supplies (the
+// crash-consistency fuzzer's FailureScheduleSupply) use them to aim
+// brown-outs at adversarial instants: tearing a progress-commit or
+// checkpoint write, or failing exactly on a commit boundary.
+enum class SupplyEvent {
+  kCommitBegin,      // FRAM progress-commit writes start (SONIC/TAILS)
+  kCommitEnd,        // progress-commit writes landed
+  kCheckpointBegin,  // FLEX checkpoint write starts (payload first)
+  kCheckpointEnd,    // checkpoint sequence word landed
+  kReboot,           // device rebooted after a failure
+};
+
 class PowerSupply {
  public:
   virtual ~PowerSupply() = default;
@@ -49,8 +62,18 @@ class PowerSupply {
   virtual bool on() const = 0;
 
   // Advance time with the device off until the turn-on threshold is
-  // reached again; returns the off-time in seconds.
+  // reached again; returns the off-time in seconds. A supply whose
+  // harvester has starved (no boot within its off-time guard) returns the
+  // time it waited with on() still false and starved() true — the caller
+  // decides whether to give up (RunStats::Outcome::kStarved) or wait more.
   virtual double recharge_to_on() = 0;
+
+  // True when the last recharge_to_on() gave up before reaching the boot
+  // threshold.
+  virtual bool starved() const { return false; }
+
+  // Runtime-to-supply event channel (no-op for physical supplies).
+  virtual void notify(SupplyEvent /*event*/) {}
 
   // Elapsed supply-side time (on + off), seconds.
   virtual double now() const = 0;

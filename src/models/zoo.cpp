@@ -4,6 +4,7 @@
 #include "nn/conv.h"
 #include "nn/dense.h"
 #include "nn/simple_layers.h"
+#include "quant/quantize.h"
 #include "util/check.h"
 
 namespace ehdnn::models {
@@ -179,6 +180,37 @@ nn::Model make_lenet5(Rng& rng) {
   f1->init(rng);
   f2->init(rng);
   return m;
+}
+
+quant::QuantModel make_deployed_qmodel(Task t, bool compressed, Rng& rng) {
+  const ModelInfo info = model_info(t);
+  nn::Model m = compressed ? make_model(t, rng) : make_dense_model(t, rng);
+  if (compressed && info.pruned_conv_layer >= 0) {
+    auto* conv =
+        dynamic_cast<nn::Conv2D*>(&m.layer(static_cast<std::size_t>(info.pruned_conv_layer)));
+    if (conv != nullptr) {
+      std::vector<bool> mask(conv->kernel_h() * conv->kernel_w(), false);
+      for (std::size_t i = 0; i < info.prune_keep_positions; ++i) mask[i] = true;
+      conv->set_shape_mask(mask);
+    }
+  }
+  std::vector<nn::Tensor> calib;
+  for (int i = 0; i < 4; ++i) {
+    nn::Tensor tensor(info.input_shape);
+    for (std::size_t j = 0; j < tensor.size(); ++j) {
+      tensor[j] = static_cast<float>(rng.uniform(-0.9, 0.9));
+    }
+    calib.push_back(std::move(tensor));
+  }
+  quant::QuantizeOptions qo;
+  qo.model_name = task_name(t);
+  return quant::quantize(m, calib, info.input_shape, qo);
+}
+
+dev::DeviceConfig deployment_device_config(bool compressed) {
+  dev::DeviceConfig cfg;
+  if (!compressed) cfg.fram_words = 8 * 1024 * 1024;
+  return cfg;
 }
 
 }  // namespace ehdnn::models

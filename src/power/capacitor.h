@@ -56,21 +56,29 @@ class CapacitorSupply : public dev::PowerSupply {
 
   bool on() const override { return on_; }
 
+  // Integrates harvest income until v_on or the max_off_s starvation
+  // guard. Starvation is not an exception: the supply reports it through
+  // starved() so runtimes can surface a distinct RunStats outcome
+  // (starved vs completed) instead of dying mid-run.
   double recharge_to_on() override {
     const double t0 = now_;
+    starved_ = false;
     while (energy_ < energy_at(cfg_.v_on)) {
+      if (now_ - t0 >= cfg_.max_off_s) {
+        starved_ = true;
+        break;
+      }
       energy_ = std::min(energy_ + source_.power_at(now_) * cfg_.recharge_step_s,
                          energy_at(cfg_.v_max));
       now_ += cfg_.recharge_step_s;
-      if (now_ - t0 > cfg_.max_off_s) {
-        throw Error("CapacitorSupply: harvester starved (no boot within max_off_s)");
-      }
     }
-    on_ = true;
+    on_ = !starved_;
     const double off = now_ - t0;
     off_time_ += off;
     return off;
   }
+
+  bool starved() const override { return starved_; }
 
   double now() const override { return now_; }
 
@@ -91,6 +99,7 @@ class CapacitorSupply : public dev::PowerSupply {
   double energy_ = 0.0;
   double now_ = 0.0;
   bool on_ = true;
+  bool starved_ = false;
   long failures_ = 0;
   double on_time_ = 0.0;
   double off_time_ = 0.0;

@@ -6,11 +6,13 @@
 // trace source replays arbitrary harvest recordings (synthetic RF/solar).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <vector>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace ehdnn::power {
 
@@ -58,6 +60,76 @@ class SineSource : public HarvestSource {
 
  private:
   double mean_, amp_, period_;
+};
+
+// Bursty RF harvesting: bursts arrive as a Poisson process (exponential
+// inter-arrival gaps) with exponentially distributed durations, on top of
+// a weak ambient floor. Deterministic: the burst schedule is generated
+// from `seed` over `horizon_s` at construction and loops thereafter.
+class PoissonBurstSource : public HarvestSource {
+ public:
+  PoissonBurstSource(double base_w, double burst_w, double rate_hz, double mean_burst_s,
+                     std::uint64_t seed = 1, double horizon_s = 10.0)
+      : base_(base_w), burst_(burst_w), horizon_(horizon_s) {
+    check(base_w >= 0.0 && burst_w >= 0.0 && rate_hz > 0.0 && mean_burst_s > 0.0 &&
+              horizon_s > 0.0,
+          "PoissonBurstSource: bad parameters");
+    Rng rng(seed);
+    auto expo = [&rng](double mean) {
+      // Inverse-CDF sampling; 1 - uniform() avoids log(0).
+      return -mean * std::log(1.0 - rng.uniform());
+    };
+    double t = expo(1.0 / rate_hz);
+    while (t < horizon_) {
+      const double dur = expo(mean_burst_s);
+      bursts_.push_back({t, std::min(t + dur, horizon_)});
+      t += dur + expo(1.0 / rate_hz);
+    }
+  }
+
+  double power_at(double t) const override {
+    double u = std::fmod(t, horizon_);
+    if (u < 0.0) u += horizon_;
+    // Last burst starting at or before u.
+    const auto it = std::upper_bound(bursts_.begin(), bursts_.end(), u,
+                                     [](double v, const Burst& b) { return v < b.start; });
+    if (it != bursts_.begin() && u < (it - 1)->end) return base_ + burst_;
+    return base_;
+  }
+
+  std::size_t burst_count() const { return bursts_.size(); }
+
+ private:
+  struct Burst {
+    double start, end;
+  };
+  double base_, burst_, horizon_;
+  std::vector<Burst> bursts_;
+};
+
+// Solar-day ramp: a sin^2 daylight arch from sunrise to sunset (fraction
+// `daylight` of the day), darkness (plus an optional floor, e.g. indoor
+// lighting) the rest of the period.
+class SolarDaySource : public HarvestSource {
+ public:
+  SolarDaySource(double peak_w, double day_s, double daylight = 0.5, double floor_w = 0.0)
+      : peak_(peak_w), day_(day_s), daylight_(daylight), floor_(floor_w) {
+    check(peak_w >= 0.0 && day_s > 0.0 && daylight > 0.0 && daylight <= 1.0 &&
+              floor_w >= 0.0,
+          "SolarDaySource: bad parameters");
+  }
+
+  double power_at(double t) const override {
+    double u = std::fmod(t, day_);
+    if (u < 0.0) u += day_;
+    const double lit = daylight_ * day_;
+    if (u >= lit) return floor_;
+    const double s = std::sin(std::numbers::pi * u / lit);
+    return floor_ + peak_ * s * s;
+  }
+
+ private:
+  double peak_, day_, daylight_, floor_;
 };
 
 // Replays `samples` (watts) at fixed `sample_dt` spacing, looping.

@@ -1,0 +1,262 @@
+#include "sim/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <ostream>
+
+#include "core/ace/compiled_model.h"
+#include "power/capacitor.h"
+#include "power/continuous.h"
+#include "power/factory.h"
+#include "power/monitor.h"
+#include "util/check.h"
+#include "util/parse.h"
+#include "util/rng.h"
+
+namespace ehdnn::sim {
+
+namespace {
+
+struct RuntimeKey {
+  const char* key;
+  bool compressed;  // deployment model vs dense twin
+};
+
+constexpr RuntimeKey kRuntimeKeys[] = {
+    {"base", false}, {"ace", true}, {"sonic", false}, {"tails", false}, {"flex", true},
+};
+
+const RuntimeKey& runtime_key(const std::string& key) {
+  for (const auto& rk : kRuntimeKeys) {
+    if (key == rk.key) return rk;
+  }
+  fail("scenario: unknown runtime \"" + key + "\" (base|ace|sonic|tails|flex)");
+}
+
+double parse_num(const std::string& arg, const std::string& key, const std::string& val) {
+  const auto v = parse_double(val);
+  check(v.has_value(), "scenario \"" + arg + "\": bad number for " + key + ": \"" + val + "\"");
+  return *v;
+}
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
+// `src` is the scenario's shared (immutable) harvest source, or nullptr
+// for continuous bench power; the stateful capacitor is per cell.
+ScenarioCell run_cell(const std::string& rt_key, models::Task task,
+                      const quant::QuantModel& qm, const std::vector<fx::q15_t>& input,
+                      const ScenarioSpec& sc, const power::HarvestSource* src) {
+  const RuntimeKey& rk = runtime_key(rt_key);
+  dev::Device dev(models::deployment_device_config(rk.compressed));
+
+  power::ContinuousPower cont;
+  std::unique_ptr<power::CapacitorSupply> cap;
+  const bool continuous = src == nullptr;
+  if (continuous) {
+    dev.attach_supply(&cont);
+  } else {
+    power::CapacitorConfig ccfg;
+    ccfg.capacitance_f = sc.capacitance_f;
+    ccfg.max_off_s = sc.max_off_s;
+    cap = std::make_unique<power::CapacitorSupply>(*src, ccfg);
+    dev.attach_supply(cap.get());
+  }
+
+  const auto cm = ace::compile(qm, dev);
+  flex::RunOptions opts;
+  opts.max_reboots = sc.max_reboots;
+  if (!continuous) {
+    opts.flex_v_warn = power::warn_voltage_for(
+        cap->config(), flex::worst_checkpoint_energy(cm, dev.cost()) + 5e-6, 3.0);
+  }
+
+  auto rt = make_runtime(rt_key);
+  const flex::RunStats st = rt->infer(dev, cm, input, opts);
+
+  ScenarioCell cell;
+  cell.task = models::task_name(task);
+  cell.runtime = rt_key;
+  cell.scenario = sc.name;
+  cell.outcome = st.outcome;
+  cell.completed = st.completed;
+  cell.on_s = st.on_seconds;
+  cell.off_s = st.off_seconds;
+  cell.total_s = st.total_seconds();
+  cell.energy_j = st.energy_j;
+  cell.checkpoint_energy_j = st.checkpoint_energy_j;
+  cell.reboots = st.reboots;
+  cell.checkpoints = st.checkpoints;
+  cell.progress_commits = st.progress_commits;
+  cell.units_executed = st.units_executed;
+  cell.units_total = st.units_total;
+  return cell;
+}
+
+}  // namespace
+
+std::unique_ptr<flex::InferenceRuntime> make_runtime(const std::string& key) {
+  runtime_key(key);  // validate (throws on unknown)
+  if (key == "sonic") return flex::make_sonic_runtime();
+  if (key == "tails") return flex::make_tails_runtime();
+  if (key == "flex") return flex::make_flex_runtime();
+  return flex::make_ace_runtime();  // base and ace
+}
+
+const std::vector<std::string>& all_runtime_keys() {
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> v;
+    for (const auto& rk : kRuntimeKeys) v.emplace_back(rk.key);
+    return v;
+  }();
+  return keys;
+}
+
+ScenarioSpec parse_scenario_arg(const std::string& arg) {
+  // NAME=SOURCE[;key=value...] — the first '=' ends the name (harvest
+  // specs contain '=' themselves), ';' separates scenario options.
+  const std::size_t eq = arg.find('=');
+  check(eq != std::string::npos && eq > 0,
+        "scenario \"" + arg + "\": expected NAME=SOURCE[;key=value...]");
+  ScenarioSpec sc;
+  sc.name = arg.substr(0, eq);
+  const std::string rest = arg.substr(eq + 1);
+  std::size_t pos = rest.find(';');
+  sc.source = rest.substr(0, pos);
+  check(!sc.source.empty(), "scenario \"" + arg + "\": empty source spec");
+  while (pos != std::string::npos) {
+    const std::size_t next = rest.find(';', pos + 1);
+    const std::string item =
+        rest.substr(pos + 1, (next == std::string::npos ? rest.size() : next) - pos - 1);
+    pos = next;
+    if (item.empty()) continue;
+    const std::size_t ieq = item.find('=');
+    check(ieq != std::string::npos && ieq > 0,
+          "scenario \"" + arg + "\": expected key=value, got \"" + item + "\"");
+    const std::string key = item.substr(0, ieq);
+    const std::string val = item.substr(ieq + 1);
+    if (key == "cap") {
+      sc.capacitance_f = parse_num(arg, key, val);
+    } else if (key == "max_off") {
+      sc.max_off_s = parse_num(arg, key, val);
+    } else if (key == "reboots") {
+      sc.max_reboots = static_cast<long>(parse_num(arg, key, val));
+    } else {
+      fail("scenario \"" + arg + "\": unknown option \"" + key + "\"");
+    }
+  }
+  return sc;
+}
+
+ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
+                          const std::vector<models::Task>& tasks,
+                          const std::vector<ScenarioSpec>& scenarios,
+                          const SweepOptions& opts) {
+  ScenarioMatrix m;
+  m.seed = opts.seed;
+  m.runtimes = runtimes;
+  m.scenarios = scenarios;
+
+  // Fail fast on bad inputs before hours of sweeping; sources are
+  // immutable, so each scenario's is built once and shared by its cells.
+  std::vector<bool> need_variant = {false, false};  // [compressed]
+  for (const auto& rt : runtimes) need_variant[runtime_key(rt).compressed] = true;
+  std::vector<std::unique_ptr<power::HarvestSource>> sources;
+  for (const auto& sc : scenarios) {
+    check(!sc.name.empty(), "scenario with empty name");
+    sources.push_back(sc.source == "continuous" ? nullptr
+                                                : power::make_harvest_source(sc.source));
+  }
+
+  for (const auto task : tasks) {
+    m.tasks.push_back(models::task_name(task));
+
+    // Deployment + dense instances and input, seeded exactly like the
+    // paper benches so matrix cells are comparable to fig7b rows. Only
+    // the variants the requested runtimes execute are built (the dense
+    // HAR/OKG twins are the expensive ones).
+    std::map<bool, quant::QuantModel> qms;
+    std::map<bool, std::vector<fx::q15_t>> inputs;
+    for (const bool compressed : {false, true}) {
+      if (!need_variant[compressed]) continue;
+      Rng rng(opts.seed + static_cast<std::uint64_t>(task));
+      qms[compressed] = models::make_deployed_qmodel(task, compressed, rng);
+      std::vector<fx::q15_t> input(qms[compressed].layers.front().in_size());
+      for (auto& v : input) v = static_cast<fx::q15_t>(rng.next_u64());
+      inputs[compressed] = std::move(input);
+    }
+
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+      const ScenarioSpec& sc = scenarios[si];
+      for (const auto& rt : runtimes) {
+        const bool compressed = runtime_key(rt).compressed;
+        ScenarioCell cell =
+            run_cell(rt, task, qms[compressed], inputs[compressed], sc, sources[si].get());
+        if (opts.verbose) {
+          std::fprintf(stderr, "scenario %s/%s/%s: %s (on %.3fs, off %.3fs, %ld reboots)\n",
+                       cell.task.c_str(), sc.name.c_str(), rt.c_str(),
+                       flex::outcome_name(cell.outcome), cell.on_s, cell.off_s,
+                       cell.reboots);
+        }
+        m.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return m;
+}
+
+void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m) {
+  os << "{\n  \"schema\": \"ehdnn-scenarios-v1\",\n";
+  os << "  \"seed\": " << m.seed << ",\n";
+  auto str_list = [&os](const std::vector<std::string>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      os << json_str(v[i]) << (i + 1 < v.size() ? ", " : "");
+    }
+  };
+  os << "  \"tasks\": [";
+  str_list(m.tasks);
+  os << "],\n  \"runtimes\": [";
+  str_list(m.runtimes);
+  os << "],\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < m.scenarios.size(); ++i) {
+    const ScenarioSpec& sc = m.scenarios[i];
+    os << "    {\"name\": " << json_str(sc.name) << ", \"source\": " << json_str(sc.source)
+       << ", \"capacitance_f\": " << sc.capacitance_f << ", \"max_off_s\": " << sc.max_off_s
+       << ", \"max_reboots\": " << sc.max_reboots << "}"
+       << (i + 1 < m.scenarios.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < m.cells.size(); ++i) {
+    const ScenarioCell& c = m.cells[i];
+    os << "    {\"task\": " << json_str(c.task) << ", \"scenario\": " << json_str(c.scenario)
+       << ", \"runtime\": " << json_str(c.runtime)
+       << ", \"outcome\": " << json_str(flex::outcome_name(c.outcome))
+       << ", \"completed\": " << (c.completed ? "true" : "false") << ",\n     \"on_s\": "
+       << c.on_s << ", \"off_s\": " << c.off_s << ", \"total_s\": " << c.total_s
+       << ", \"energy_j\": " << c.energy_j
+       << ", \"checkpoint_energy_j\": " << c.checkpoint_energy_j << ",\n     \"reboots\": "
+       << c.reboots << ", \"checkpoints\": " << c.checkpoints
+       << ", \"progress_commits\": " << c.progress_commits
+       << ", \"units_executed\": " << c.units_executed
+       << ", \"units_total\": " << c.units_total << "}"
+       << (i + 1 < m.cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace ehdnn::sim

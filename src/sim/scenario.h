@@ -1,0 +1,86 @@
+// The scenario engine: sweep {runtimes} x {model-zoo entries} x {power
+// scenarios} and emit a completion/latency/on-off-energy matrix — the
+// Fig. 7-style reproduction artifact (SCENARIOS.json), generalized from
+// two synthetic supplies to arbitrary harvest traces. New traces are new
+// scenarios; no code changes required (see power::make_harvest_source).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flex/runtime.h"
+#include "models/zoo.h"
+
+namespace ehdnn::sim {
+
+// One power scenario: a harvest-source spec (power/factory.h grammar) or
+// the literal "continuous" for bench power, plus the capacitor buffering
+// it feeds.
+struct ScenarioSpec {
+  std::string name;
+  std::string source = "continuous";
+  double capacitance_f = 10e-6;  // bench_common's paper-regime default
+  double max_off_s = 30.0;       // starvation guard while recharging
+  long max_reboots = 100000;     // hard cap (livelock guard fires earlier)
+};
+
+// Parses `NAME=SOURCE[;cap=FARADS][;max_off=S][;reboots=N]`, e.g.
+//   office-rf=trace:path=traces/rf_office.csv;cap=10e-6
+// Throws ehdnn::Error on a malformed argument.
+ScenarioSpec parse_scenario_arg(const std::string& arg);
+
+// One cell of the sweep. Stats are copied from flex::RunStats; `outcome`
+// distinguishes completed / dnf (the Fig. 7b "X") / starved.
+struct ScenarioCell {
+  std::string task;
+  std::string runtime;
+  std::string scenario;
+  flex::Outcome outcome = flex::Outcome::kDidNotFinish;
+  bool completed = false;
+  double on_s = 0.0;
+  double off_s = 0.0;
+  double total_s = 0.0;
+  double energy_j = 0.0;
+  double checkpoint_energy_j = 0.0;
+  long reboots = 0;
+  long checkpoints = 0;
+  long progress_commits = 0;
+  long units_executed = 0;
+  long units_total = 0;
+};
+
+struct ScenarioMatrix {
+  std::uint64_t seed = 0;
+  std::vector<std::string> runtimes;
+  std::vector<std::string> tasks;
+  std::vector<ScenarioSpec> scenarios;
+  std::vector<ScenarioCell> cells;
+};
+
+struct SweepOptions {
+  std::uint64_t seed = 0xb0a710ad;  // model weights + input (bench parity)
+  bool verbose = false;             // one progress line per cell to stderr
+};
+
+// Runtime keys, in sweep order: base and sonic/tails execute the dense
+// twin, ace and flex the RAD-compressed deployment model.
+const std::vector<std::string>& all_runtime_keys();
+
+// Runtime factory for those keys (the one name-to-runtime mapping, also
+// used by the crash-consistency fuzzer); throws on an unknown key.
+std::unique_ptr<flex::InferenceRuntime> make_runtime(const std::string& key);
+
+// Runs every (runtime x task x scenario) combination. Unknown runtime
+// keys throw; a scenario whose harvest spec fails to parse throws before
+// any cell runs (fail fast, not after an hour of sweeping).
+ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
+                          const std::vector<models::Task>& tasks,
+                          const std::vector<ScenarioSpec>& scenarios,
+                          const SweepOptions& opts = {});
+
+// SCENARIOS.json, schema ehdnn-scenarios-v1 (see BENCHMARKS.md).
+void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m);
+
+}  // namespace ehdnn::sim

@@ -133,7 +133,9 @@ TEST(Structured, ProjectionZeroesPruned) {
     for (std::size_t c = 0; c < 2; ++c) {
       for (std::size_t r = 0; r < 5; ++r) {
         for (std::size_t s = 0; s < 5; ++s) {
-          if (!conv.shape_mask()[r * 5 + s]) EXPECT_EQ(conv.w(f, c, r, s), 0.0f);
+          if (!conv.shape_mask()[r * 5 + s]) {
+            EXPECT_EQ(conv.w(f, c, r, s), 0.0f);
+          }
         }
       }
     }
@@ -218,7 +220,9 @@ TEST_F(AdmmFixture, MaskSurvivesFinetuning) {
   for (std::size_t f = 0; f < conv1_->out_channels(); ++f) {
     for (std::size_t r = 0; r < 5; ++r) {
       for (std::size_t s = 0; s < 5; ++s) {
-        if (!conv1_->shape_mask()[r * 5 + s]) EXPECT_EQ(conv1_->w(f, 0, r, s), 0.0f);
+        if (!conv1_->shape_mask()[r * 5 + s]) {
+          EXPECT_EQ(conv1_->w(f, 0, r, s), 0.0f);
+        }
       }
     }
   }

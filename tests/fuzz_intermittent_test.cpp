@@ -1,0 +1,210 @@
+// Crash-consistency fuzzing at scale (the property SONIC/TAILS and
+// Stateful-CNN establish only anecdotally): for ANY failure schedule, an
+// intermittent runtime's output must be bit-identical to its own
+// continuous-power output. The FailureScheduleSupply replays >= 1000
+// seeded schedules across SONIC, TAILS, and FLEX, aiming brown-outs at
+// adversarial instants — mid-block, tearing FRAM progress commits, during
+// FLEX checkpoint writes, and right on commit boundaries — and every run
+// is checked against the continuous oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/ace/compiled_model.h"
+#include "core/flex/runtime.h"
+#include "nn/bcm_dense.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+#include "nn/simple_layers.h"
+#include "power/capacitor.h"
+#include "power/continuous.h"
+#include "power/failure_schedule.h"
+#include "quant/quantize.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace ehdnn::flex {
+namespace {
+
+using fx::q15_t;
+
+nn::Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  nn::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-0.9, 0.9));
+  }
+  return t;
+}
+
+// Tiny models that still exercise every kernel kind (conv, pool, BCM/FFT,
+// dense) — small enough that a thousand schedules stay fast, big enough
+// that every commit protocol and checkpoint payload kind is hit.
+quant::QuantModel mixed_model(Rng& rng) {
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::MaxPool2D>();
+  m.add<nn::Flatten>();
+  m.add<nn::BcmDense>(2 * 4 * 4, 16, 16)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::Dense>(16, 4)->init(rng);
+  std::vector<nn::Tensor> calib;
+  for (int i = 0; i < 4; ++i) calib.push_back(random_tensor({1, 10, 10}, rng));
+  return quant::quantize(m, calib, {1, 10, 10});
+}
+
+quant::QuantModel dense_model(Rng& rng) {
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::MaxPool2D>();
+  m.add<nn::Flatten>();
+  m.add<nn::Dense>(2 * 4 * 4, 16)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::Dense>(16, 4)->init(rng);
+  std::vector<nn::Tensor> calib;
+  for (int i = 0; i < 4; ++i) calib.push_back(random_tensor({1, 10, 10}, rng));
+  return quant::quantize(m, calib, {1, 10, 10});
+}
+
+struct FuzzCase {
+  const char* runtime;
+  bool bcm_model;       // mixed (BCM) model vs dense twin
+  int schedules;        // seeded schedules replayed
+  std::uint64_t seed0;  // first seed; seeds are seed0 .. seed0+schedules-1
+  double flex_v_warn = 2.45;  // default; varied to hit eager/late monitors
+};
+
+// >= 1000 schedules total, spread so every runtime sees every commit
+// protocol it implements (SONIC is dense-only) and FLEX additionally runs
+// with an eager (always-warning) and a late (never-warning) monitor.
+constexpr FuzzCase kCases[] = {
+    {"sonic", false, 250, 0x50000, 2.45},
+    {"tails", false, 150, 0x51000, 2.45},
+    {"tails", true, 150, 0x52000, 2.45},
+    {"flex", true, 250, 0x53000, 2.45},
+    {"flex", false, 100, 0x54000, 2.45},
+    {"flex", true, 60, 0x55000, 3.5},     // eager: warns every cycle
+    {"flex", true, 40, 0x56000, 2.2001},  // late: failures arrive unwarned
+};
+
+TEST(FuzzIntermittent, CoversAtLeastThousandSchedules) {
+  int total = 0;
+  for (const auto& c : kCases) total += c.schedules;
+  EXPECT_GE(total, 1000) << "acceptance: >= 1000 seeded schedules";
+}
+
+class CrashConsistency : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
+  const FuzzCase fc = GetParam();
+  Rng model_rng(1234);
+  const auto qm = fc.bcm_model ? mixed_model(model_rng) : dense_model(model_rng);
+  const auto input = quant::quantize_input(
+      qm, random_tensor(qm.layers.front().in_shape, model_rng));
+  auto rt = sim::make_runtime(fc.runtime);
+
+  RunOptions opts;
+  opts.flex_v_warn = fc.flex_v_warn;
+
+  std::vector<q15_t> oracle;
+  {
+    dev::Device dev;
+    power::ContinuousPower supply;
+    dev.attach_supply(&supply);
+    const auto cm = ace::compile(qm, dev);
+    const RunStats cont = rt->infer(dev, cm, input, opts);
+    ASSERT_TRUE(cont.completed);
+    ASSERT_EQ(cont.reboots, 0);
+    oracle = cont.output;
+  }
+
+  long total_failures = 0;
+  for (int i = 0; i < fc.schedules; ++i) {
+    const std::uint64_t seed = fc.seed0 + static_cast<std::uint64_t>(i);
+    dev::Device dev;
+    power::FailureScheduleSupply supply(seed);
+    dev.attach_supply(&supply);
+    const auto cm = ace::compile(qm, dev);
+    const RunStats st = rt->infer(dev, cm, input, opts);
+
+    ASSERT_TRUE(st.completed) << fc.runtime << " seed " << seed;
+    ASSERT_EQ(st.outcome, Outcome::kCompleted) << fc.runtime << " seed " << seed;
+    ASSERT_EQ(st.output, oracle)
+        << fc.runtime << " diverged from continuous power under schedule seed " << seed
+        << " (" << supply.failures() << " injected failures)";
+    EXPECT_EQ(st.reboots, supply.failures()) << fc.runtime << " seed " << seed;
+    total_failures += supply.failures();
+  }
+
+  // The schedules must actually bite: on average multiple brown-outs per
+  // run, or the fuzzer is testing nothing. (FLEX averages fewer than the
+  // commit-heavy baselines because event-targeted triggers have far fewer
+  // commit events to aim at — that sparseness is FLEX's selling point.)
+  EXPECT_GT(total_failures, 3L * fc.schedules)
+      << fc.runtime << ": schedules injected too few failures";
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, CrashConsistency, ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<FuzzCase>& info) {
+                           const FuzzCase& c = info.param;
+                           std::string name = c.runtime;
+                           name += c.bcm_model ? "_bcm" : "_dense";
+                           name += "_" + std::to_string(c.schedules);
+                           name += "_w" + std::to_string(static_cast<int>(
+                                              c.flex_v_warn * 1000.0));
+                           return name;
+                         });
+
+TEST(FuzzIntermittent, ScheduleSupplyIsDeterministic) {
+  // Same seed, same schedule: identical failure counts and timing.
+  Rng rng(99);
+  const auto qm = mixed_model(rng);
+  const auto input =
+      quant::quantize_input(qm, random_tensor(qm.layers.front().in_shape, rng));
+  auto rt = make_flex_runtime();
+
+  auto run_once = [&](std::uint64_t seed) {
+    dev::Device dev;
+    power::FailureScheduleSupply supply(seed);
+    dev.attach_supply(&supply);
+    const auto cm = ace::compile(qm, dev);
+    const RunStats st = rt->infer(dev, cm, input);
+    return std::pair<long, double>(supply.failures(), st.on_seconds);
+  };
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+  const auto c = run_once(8);
+  EXPECT_TRUE(a.first != c.first || a.second != c.second);
+}
+
+TEST(FuzzIntermittent, StarvedScenarioSurfacesAsOutcome) {
+  // A harvester that never refills (constant 0 W) starves the capacitor
+  // after the first brown-out; the runtime reports kStarved, distinct
+  // from completion and from the reboot-limit DNF.
+  Rng rng(100);
+  const auto qm = mixed_model(rng);
+  const auto input =
+      quant::quantize_input(qm, random_tensor(qm.layers.front().in_shape, rng));
+  auto rt = make_flex_runtime();
+
+  dev::Device dev;
+  power::ConstantSource dead(0.0);
+  power::CapacitorConfig cfg;
+  cfg.capacitance_f = 1.0e-6;  // one small burst, then nothing
+  cfg.max_off_s = 0.05;
+  power::CapacitorSupply supply(dead, cfg);
+  dev.attach_supply(&supply);
+  const auto cm = ace::compile(qm, dev);
+  const RunStats st = rt->infer(dev, cm, input);
+
+  EXPECT_FALSE(st.completed);
+  EXPECT_EQ(st.outcome, Outcome::kStarved);
+  EXPECT_TRUE(supply.starved());
+  EXPECT_GT(st.off_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ehdnn::flex

@@ -1,0 +1,163 @@
+// Scenario-engine CLI: sweeps runtimes x models x power scenarios and
+// writes SCENARIOS.json (schema ehdnn-scenarios-v1; see BENCHMARKS.md
+// "Scenarios"). Run from the repo root so the default trace scenarios
+// resolve their traces/*.csv paths:
+//
+//   ./build/scenario_runner --out SCENARIOS.json
+//   ./build/scenario_runner --tasks mnist --runtimes ace,flex
+//       --scenario office-rf=trace:path=traces/rf_office.csv
+//
+// With no --scenario arguments a built-in set is swept: continuous bench
+// power, the paper's constant-harvest regime, a square duty cycle, bursty
+// Poisson RF, a solar-day ramp, and the committed traces/*.csv files.
+// --smoke runs a two-scenario ace/flex MNIST sweep (the ctest entry).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace ehdnn;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+models::Task parse_task(const std::string& name) {
+  if (name == "mnist") return models::Task::kMnist;
+  if (name == "har") return models::Task::kHar;
+  if (name == "okg") return models::Task::kOkg;
+  fail("scenario_runner: unknown task \"" + name + "\" (mnist|har|okg)");
+}
+
+std::vector<sim::ScenarioSpec> default_scenarios(bool with_traces) {
+  std::vector<std::string> args = {
+      "continuous=continuous",
+      "const-1.2mW=const:w=1.2e-3",
+      "square-10ms=square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5",
+      "rf-bursty=rf:base=0.2e-3,burst=6e-3,rate=40,dur=4e-3,seed=7,horizon=1",
+      "solar-ramp=solar:peak=5e-3,day=0.5,daylight=0.6,floor=0.1e-3",
+      // Sparse bursts with a dead floor and a tight off-time guard: every
+      // runtime starves — the third outcome the matrix distinguishes.
+      "rf-starved=rf:base=0,burst=8e-3,rate=2,dur=10e-3,seed=3,horizon=2;max_off=0.05",
+  };
+  if (with_traces) {
+    args.push_back("office-rf=trace:path=traces/rf_office.csv");
+    args.push_back("solar-cloudy=trace:path=traces/solar_cloudy.csv");
+    args.push_back("wearable-motion=trace:path=traces/wearable_motion.csv");
+  }
+  std::vector<sim::ScenarioSpec> out;
+  for (const auto& a : args) out.push_back(sim::parse_scenario_arg(a));
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scenario_runner [--out FILE] [--tasks mnist,har,okg]\n"
+               "         [--runtimes base,ace,sonic,tails,flex]\n"
+               "         [--scenario NAME=SPEC[;cap=F][;max_off=S][;reboots=N]]...\n"
+               "         [--no-traces] [--smoke] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "SCENARIOS.json";
+  std::vector<models::Task> tasks = {models::Task::kMnist};
+  std::vector<std::string> runtimes = sim::all_runtime_keys();
+  std::vector<sim::ScenarioSpec> scenarios;
+  bool smoke = false;
+  bool with_traces = true;
+  sim::SweepOptions opts;
+  opts.verbose = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "scenario_runner: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--tasks") {
+      tasks.clear();
+      for (const auto& t : split_csv(next())) tasks.push_back(parse_task(t));
+    } else if (arg == "--runtimes") {
+      runtimes = split_csv(next());
+    } else if (arg == "--scenario") {
+      scenarios.push_back(sim::parse_scenario_arg(next()));
+    } else if (arg == "--no-traces") {
+      with_traces = false;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--quiet") {
+      opts.verbose = false;
+    } else {
+      return usage();
+    }
+  }
+
+  if (smoke) {
+    tasks = {models::Task::kMnist};
+    runtimes = {"ace", "flex"};
+    scenarios = {
+        sim::parse_scenario_arg("continuous=continuous"),
+        sim::parse_scenario_arg("square-10ms=square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5"),
+    };
+  } else if (scenarios.empty()) {
+    scenarios = default_scenarios(with_traces);
+  }
+
+  try {
+    const sim::ScenarioMatrix m = sim::run_matrix(runtimes, tasks, scenarios, opts);
+
+    std::ofstream f(out_path);
+    if (!f.good()) {
+      std::fprintf(stderr, "scenario_runner: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    sim::write_scenarios_json(f, m);
+    std::fprintf(stderr, "scenario_runner: wrote %zu cells to %s\n", m.cells.size(),
+                 out_path.c_str());
+
+    if (smoke) {
+      // ctest gate: under the square duty cycle FLEX must complete while
+      // plain ACE (no intermittence support) must not — Fig. 7b's "X".
+      bool flex_ok = false, ace_dnf = false;
+      for (const auto& c : m.cells) {
+        if (c.scenario != "square-10ms") continue;
+        if (c.runtime == "flex") flex_ok = c.completed;
+        if (c.runtime == "ace") ace_dnf = !c.completed;
+      }
+      if (!flex_ok || !ace_dnf) {
+        std::fprintf(stderr, "scenario_runner: smoke expectations FAILED "
+                             "(flex completed=%d, ace dnf=%d)\n",
+                     flex_ok, ace_dnf);
+        return 1;
+      }
+      std::fprintf(stderr, "scenario_runner: smoke ok (flex completes, ace DNFs)\n");
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
