@@ -34,7 +34,7 @@ int main() {
       const auto st = run_framework(fws[fi], task, ps, max_reboots);
       on[fi] = st.on_seconds;
       total[fi] = st.total_seconds();
-      done[fi] = st.completed;
+      done[fi] = st.completed();
       reboots[fi] = st.reboots;
     }
     for (int fi = 0; fi < 5; ++fi) {

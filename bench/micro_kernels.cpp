@@ -79,7 +79,7 @@ void run_layer_bench(benchmark::State& state, const bench::LayerWorkload& w) {
   auto rt = flex::make_ace_runtime();
   const flex::RunOptions opts;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rt->infer(d, cm, w.qin, opts).completed);
+    benchmark::DoNotOptimize(rt->infer(d, cm, w.qin, opts).completed());
   }
 }
 

@@ -49,7 +49,7 @@ int main() {
     const auto& x = rad_out.data.test.x[static_cast<std::size_t>(i)];
     const auto qin = quant::quantize_input(rad_out.qmodel, x);
     const auto st = rt->infer(device, cm, qin, opts);
-    if (!st.completed) continue;
+    if (!st.completed()) continue;
     ++completed;
     total_on += st.on_seconds;
     total_off += st.off_seconds;

@@ -55,7 +55,7 @@ int main() {
     auto rt = flex::make_flex_runtime();
     const auto st = rt->infer(device, cm, qin, opts);
     std::printf("  %-10.2f %-12s %-9ld %-12ld %-14s %ld\n", v_warn,
-                st.completed ? (Table::num(st.on_seconds * 1e3, 2) + " ms").c_str() : "DNF",
+                st.completed() ? (Table::num(st.on_seconds * 1e3, 2) + " ms").c_str() : "DNF",
                 st.reboots, st.checkpoints,
                 (Table::num(st.checkpoint_energy_j * 1e6, 2) + " uJ").c_str(),
                 st.wasted_units());

@@ -75,7 +75,7 @@ int main() {
       "[FLEX] harvested power: completed=%s through %ld power failures,\n"
       "       on-time %.2f ms (+%.1f%% vs continuous), %ld checkpoints (%.4f mJ),\n"
       "       output bit-identical to continuous: %s\n",
-      inter.completed ? "yes" : "no", inter.reboots, inter.on_seconds * 1e3,
+      inter.completed() ? "yes" : "no", inter.reboots, inter.on_seconds * 1e3,
       100.0 * (inter.on_seconds - cont.on_seconds) / cont.on_seconds, inter.checkpoints,
       inter.checkpoint_energy_j * 1e3, inter.output == cont.output ? "yes" : "NO");
   return 0;

@@ -1,79 +1,71 @@
-// AceRuntime: the ACE execution engine with no intermittence support.
+// AcePolicy: the ACE execution engine with no intermittence support.
 // On the compressed model this is the paper's "ACE"; on the dense model it
 // is "BASE". A power failure loses all volatile progress, so the whole
 // inference restarts — under harvested power with a 100 uF buffer the
 // inference energy exceeds the burst energy by orders of magnitude and the
 // run can never complete (Fig. 7b).
 
-#include "core/flex/runtime.h"
+#include "core/flex/executor.h"
 
 namespace ehdnn::flex {
 
 namespace {
 
-class AceRuntime : public InferenceRuntime {
+class AcePolicy : public RuntimePolicy {
  public:
   std::string name() const override { return "ACE"; }
 
-  RunStats infer(dev::Device& dev, const ace::CompiledModel& cm,
-                 std::span<const fx::q15_t> input, const RunOptions& opts) override {
-    RunStats st;
-    st.units_total = total_units(cm);
-    const TraceBaseline base = mark(dev);
-
-    // Livelock detection: without checkpoints, every attempt restarts from
-    // scratch. If the farthest point reached stops improving for a window
-    // of attempts, no future attempt can complete either (burst energy is
-    // bounded) and the run is declared DNF — the paper's "X" in Fig. 7b.
-    double best_attempt_cycles = 0.0;
-    int stale_attempts = 0;
-    constexpr int kPatience = 25;
-
-    while (true) {
-      const double attempt_start = dev.trace().total_cycles();
-      try {
-        load_input(dev, cm, input);  // restart implies re-acquiring input
-        run_all(dev, cm, opts, st);
-        mark_completed(st);
-        break;
-      } catch (const dev::PowerFailure&) {
-        const double attempt_cycles = dev.trace().total_cycles() - attempt_start;
-        if (attempt_cycles > best_attempt_cycles * 1.001) {
-          best_attempt_cycles = attempt_cycles;
-          stale_attempts = 0;
-        } else {
-          ++stale_attempts;
-        }
-        if (stale_attempts >= kPatience || dev.reboots() - base.reboots >= opts.max_reboots) {
-          st.outcome = Outcome::kDidNotFinish;
-          break;
-        }
-        if (!recover_from_failure(dev, st)) break;
-      }
+  void on_boot(StepContext& ctx, bool fresh) override {
+    if (fresh) {
+      best_attempt_cycles_ = 0.0;
+      stale_attempts_ = 0;
     }
+    // No checkpoints: every power cycle restarts from scratch, which
+    // implies re-acquiring the input (cost-free, see infer() contract).
+    load_input(ctx.dev, ctx.cm, ctx.input);
+    layer_ = 0;
+  }
 
-    fill_stats(st, dev, base);
-    if (st.completed) st.output = read_output(dev, cm);
-    return st;
+  bool step(StepContext& ctx) override {
+    const std::size_t l = layer_;
+    ace::ExecCtx ectx{ctx.dev, ctx.cm, l, ctx.cm.act_in(l), ctx.cm.act_out(l),
+                      ctx.opts.scaling, ctx.opts.stats, &arena_};
+    ace::UnitHooks hooks;
+    hooks.committed = [&](std::size_t u) { on_commit(ctx, u); };
+    ace::run_layer(ectx, 0, hooks);
+    return ++layer_ == ctx.cm.model.layers.size();
+  }
+
+  // Livelock detection: without checkpoints, every attempt restarts from
+  // scratch. If the farthest point reached stops improving for a window
+  // of attempts, no future attempt can complete either (burst energy is
+  // bounded) and the run is declared DNF — the paper's "X" in Fig. 7b.
+  bool retry_after_failure(StepContext& ctx, double attempt_cycles) override {
+    (void)ctx;
+    if (attempt_cycles > best_attempt_cycles_ * 1.001) {
+      best_attempt_cycles_ = attempt_cycles;
+      stale_attempts_ = 0;
+    } else {
+      ++stale_attempts_;
+    }
+    return stale_attempts_ < kPatience;
   }
 
  private:
-  void run_all(dev::Device& dev, const ace::CompiledModel& cm, const RunOptions& opts,
-               RunStats& st) {
-    for (std::size_t l = 0; l < cm.model.layers.size(); ++l) {
-      ace::ExecCtx ctx{dev, cm, l, cm.act_in(l), cm.act_out(l), opts.scaling, opts.stats,
-                       &arena_};
-      ace::UnitHooks hooks;
-      hooks.committed = [&st](std::size_t) { ++st.units_executed; };
-      ace::run_layer(ctx, 0, hooks);
-    }
-  }
+  static constexpr int kPatience = 25;
 
+  std::size_t layer_ = 0;
+  double best_attempt_cycles_ = 0.0;
+  int stale_attempts_ = 0;
   ace::ScratchArena arena_;  // reused across layers, attempts and inferences
 };
 
 }  // namespace
 
-std::unique_ptr<InferenceRuntime> make_ace_runtime() { return std::make_unique<AceRuntime>(); }
+std::unique_ptr<RuntimePolicy> make_ace_policy() { return std::make_unique<AcePolicy>(); }
+
+std::unique_ptr<InferenceRuntime> make_ace_runtime() {
+  return make_policy_runtime(make_ace_policy());
+}
 
 }  // namespace ehdnn::flex

@@ -1,0 +1,97 @@
+#include "core/flex/executor.h"
+
+namespace ehdnn::flex {
+
+void IntermittentExecutor::start(dev::Device& dev, const ace::CompiledModel& cm,
+                                 std::span<const fx::q15_t> input, const RunOptions& opts) {
+  dev_ = &dev;
+  cm_ = &cm;
+  input_ = input;
+  opts_ = opts;
+  st_ = RunStats{};
+  st_.units_total = policy_->units_total(cm);
+  base_ = mark(dev);
+  attempt_start_cycles_ = 0.0;
+  need_boot_ = true;
+  fresh_ = true;
+  done_ = false;
+}
+
+void IntermittentExecutor::finish() {
+  fill_stats(st_, *dev_, base_);
+  if (st_.completed()) st_.output = read_output(*dev_, *cm_);
+  done_ = true;
+}
+
+bool IntermittentExecutor::step() {
+  if (done_) return false;
+  try {
+    StepContext c = ctx();
+    if (need_boot_) {
+      // Cursor restores cost FRAM reads, so a boot is a failable slice of
+      // its own — and a natural suspension point.
+      attempt_start_cycles_ = dev_->trace().total_cycles();
+      policy_->on_boot(c, fresh_);
+      fresh_ = false;
+      need_boot_ = false;
+      return true;
+    }
+    if (policy_->step(c)) {
+      st_.outcome = Outcome::kCompleted;
+      finish();
+    }
+  } catch (const dev::PowerFailure&) {
+    const double attempt_cycles = dev_->trace().total_cycles() - attempt_start_cycles_;
+    StepContext c = ctx();
+    if (!policy_->retry_after_failure(c, attempt_cycles) ||
+        dev_->reboots() - base_.reboots >= opts_.max_reboots) {
+      // Outcome stays kDidNotFinish — the Fig. 7b "X".
+      finish();
+      return false;
+    }
+    if (!recover_from_failure(*dev_, st_)) {
+      // Harvester starved; outcome already recorded by recover.
+      finish();
+      return false;
+    }
+    need_boot_ = true;
+  }
+  return !done_;
+}
+
+RunStats IntermittentExecutor::run(dev::Device& dev, const ace::CompiledModel& cm,
+                                   std::span<const fx::q15_t> input,
+                                   const RunOptions& opts) {
+  start(dev, cm, input, opts);
+  while (step()) {
+  }
+  return take_stats();
+}
+
+namespace {
+
+// The classic one-call API: an executor around a policy instance.
+class PolicyRuntime : public InferenceRuntime {
+ public:
+  explicit PolicyRuntime(std::unique_ptr<RuntimePolicy> policy)
+      : policy_(std::move(policy)) {}
+
+  std::string name() const override { return policy_->name(); }
+
+  RunStats infer(dev::Device& dev, const ace::CompiledModel& cm,
+                 std::span<const fx::q15_t> input, const RunOptions& opts) override {
+    IntermittentExecutor ex(*policy_);
+    return ex.run(dev, cm, input, opts);
+  }
+
+ private:
+  std::unique_ptr<RuntimePolicy> policy_;
+};
+
+}  // namespace
+
+std::unique_ptr<InferenceRuntime> make_policy_runtime(std::unique_ptr<RuntimePolicy> policy) {
+  return std::make_unique<PolicyRuntime>(std::move(policy));
+}
+
+}  // namespace ehdnn::flex

@@ -1,4 +1,4 @@
-// FlexRuntime: the paper's FLEX — intermittent support for ACE with
+// FlexPolicy: the paper's FLEX — intermittent support for ACE with
 // on-demand robust checkpointing (SSIII-C, Fig. 6).
 //
 // Steady state costs almost nothing: the only unconditional checkpoint is
@@ -18,7 +18,7 @@
 
 #include <algorithm>
 
-#include "core/flex/runtime.h"
+#include "core/flex/executor.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -65,52 +65,109 @@ bool seq_newer(std::uint16_t a, std::uint16_t b) {
   return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b)) > 0;
 }
 
-class FlexRuntime : public InferenceRuntime {
+class FlexPolicy : public RuntimePolicy {
  public:
   std::string name() const override { return "ACE+FLEX"; }
 
-  RunStats infer(dev::Device& dev, const ace::CompiledModel& cm,
-                 std::span<const fx::q15_t> input, const RunOptions& opts) override {
-    RunStats st;
-    st.units_total = total_units(cm);
-    const TraceBaseline base = mark(dev);
+  void on_boot(StepContext& ctx, bool fresh) override {
+    dev::Device& dev = ctx.dev;
+    const ace::CompiledModel& cm = ctx.cm;
+    if (fresh) {
+      load_input(dev, cm, ctx.input);
+      // Invalidate both slots: fresh inference, fresh progress.
+      dev.write(MemKind::kFram, cm.ckpt_base + kSeq, 0);
+      dev.write(MemKind::kFram, cm.ckpt_base + cm.ckpt_slot_words + kSeq, 0);
+      seq_ = 0;
+      warned_ = false;
+      armed_ = false;
+      degraded_ = false;
+      have_prev_ = false;
+    }
+    rp_ = read_resume_point(dev, cm);
+    // Progress guard: a power cycle that resumes exactly where the
+    // previous one did made no forward progress (e.g. the voltage
+    // monitor is mis-thresholded and the warning checkpoint lands on
+    // the resume point). Degraded mode checkpoints at every commit —
+    // TAILS-like cost, but guaranteed progress in any configuration.
+    degraded_ = have_prev_ && rp_.same_position(prev_rp_);
+    prev_rp_ = rp_;
+    have_prev_ = true;
+    layer_ = rp_.layer;
+    resume_pending_ = rp_.seq != 0;
+  }
 
-    load_input(dev, cm, input);
-    // Invalidate both slots: fresh inference, fresh progress.
-    dev.write(MemKind::kFram, cm.ckpt_base + kSeq, 0);
-    dev.write(MemKind::kFram, cm.ckpt_base + cm.ckpt_slot_words + kSeq, 0);
-    seq_ = 0;
-    warned_ = false;
-    armed_ = false;
-    degraded_ = false;
+  bool step(StepContext& ctx) override {
+    dev::Device& dev = ctx.dev;
+    const ace::CompiledModel& cm = ctx.cm;
+    const std::size_t l = layer_;
+    const QLayer& q = cm.model.layers[l];
+    ace::ExecCtx ectx{dev, cm, l, cm.act_in(l), cm.act_out(l),
+                      ctx.opts.scaling, ctx.opts.stats, &arena_};
+    const bool resuming = resume_pending_ && l == rp_.layer;
 
-    ResumePoint prev_rp;
-    bool have_prev = false;
-    while (true) {
-      try {
-        const ResumePoint rp = read_resume_point(dev, cm);
-        // Progress guard: a power cycle that resumes exactly where the
-        // previous one did made no forward progress (e.g. the voltage
-        // monitor is mis-thresholded and the warning checkpoint lands on
-        // the resume point). Degraded mode checkpoints at every commit —
-        // TAILS-like cost, but guaranteed progress in any configuration.
-        degraded_ = have_prev && rp.same_position(prev_rp);
-        prev_rp = rp;
-        have_prev = true;
-        run_from(dev, cm, opts, rp, st);
-        mark_completed(st);
-        break;
-      } catch (const dev::PowerFailure&) {
-        if (dev.reboots() - base.reboots >= opts.max_reboots) break;
-        if (!recover_from_failure(dev, st)) break;
-        warned_ = false;
-        armed_ = false;
+    ace::UnitHooks hooks;
+    hooks.boundary = [&](std::size_t unit) { poll_and_checkpoint(ctx, unit); };
+    hooks.committed = [&](std::size_t unit) { on_commit(ctx, unit); };
+
+    if (q.kind == QKind::kBcmDense) {
+      ace::BcmState bst{0, ace::BcmStage::kLoad, 0, 0, 0};
+      if (resuming && rp_.is_bcm) {
+        bst = rp_.bcm;
+        restore_bcm_payload(dev, cm, rp_, q);
       }
+      FlexBcmObserver obs(*this, ctx);
+      ace::run_bcm(ectx, bst, &obs);
+    } else {
+      std::size_t start = 0;
+      if (resuming) {
+        start = rp_.unit;
+        if (q.kind == QKind::kDense && rp_.kind == 1 && start > 0) {
+          ace::move_words(dev, MemKind::kFram, rp_.slot_base + kPayload, MemKind::kSram,
+                          cm.sram.acc32, 2 * q.out_ch);
+        }
+      }
+      ace::run_layer(ectx, start, hooks);
     }
 
-    fill_stats(st, dev, base);
-    if (st.completed) st.output = read_output(dev, cm);
-    return st;
+    // Mandatory layer-transition checkpoint (header-only): resume never
+    // reaches back past a completed layer.
+    write_checkpoint(dev, cm, /*layer=*/l + 1, /*unit=*/0, /*kind=*/0, nullptr, nullptr,
+                     ctx.st);
+    resume_pending_ = false;
+    return ++layer_ == cm.model.layers.size();
+  }
+
+  void on_commit(StepContext& ctx, std::size_t unit) override {
+    RuntimePolicy::on_commit(ctx, unit);
+    if (degraded_ || warned_) {
+      // Once the monitor has warned (death imminent) — or the progress
+      // guard tripped — persist every commit so at most one unit of
+      // work is lost to the brown-out.
+      const QLayer& q = ctx.cm.model.layers[layer_];
+      const int kind = q.kind == QKind::kDense ? 1 : 0;
+      write_checkpoint(ctx.dev, ctx.cm, layer_, unit + 1, kind, nullptr,
+                       kind == 1 ? &q : nullptr, ctx.st);
+    }
+  }
+
+  // The monitor fired: persist the live state for the layer kind at hand
+  // (the BCM path carries its stage machine separately and checkpoints
+  // directly from poll_and_checkpoint).
+  void on_warning(StepContext& ctx, std::size_t unit) override {
+    const QLayer& q = ctx.cm.model.layers[layer_];
+    if (q.kind == QKind::kDense) {
+      write_checkpoint(ctx.dev, ctx.cm, layer_, unit, /*kind=*/1, nullptr, &q, ctx.st);
+    } else {
+      write_checkpoint(ctx.dev, ctx.cm, layer_, unit, /*kind=*/0, nullptr, nullptr, ctx.st);
+    }
+  }
+
+  bool retry_after_failure(StepContext& ctx, double attempt_cycles) override {
+    (void)ctx;
+    (void)attempt_cycles;
+    warned_ = false;
+    armed_ = false;
+    return true;
   }
 
  private:
@@ -146,55 +203,6 @@ class FlexRuntime : public InferenceRuntime {
     return best;
   }
 
-  void run_from(dev::Device& dev, const ace::CompiledModel& cm, const RunOptions& opts,
-                const ResumePoint& rp, RunStats& st) {
-    for (std::size_t l = rp.layer; l < cm.model.layers.size(); ++l) {
-      const QLayer& q = cm.model.layers[l];
-      ace::ExecCtx ctx{dev, cm, l, cm.act_in(l), cm.act_out(l), opts.scaling, opts.stats,
-                       &arena_};
-      const bool resuming = l == rp.layer && rp.seq != 0;
-
-      ace::UnitHooks hooks;
-      hooks.boundary = [&](std::size_t unit) { poll_and_checkpoint(ctx, opts, unit, st); };
-      hooks.committed = [&, this](std::size_t unit) {
-        ++st.units_executed;
-        if (degraded_ || warned_) {
-          // Once the monitor has warned (death imminent) — or the progress
-          // guard tripped — persist every commit so at most one unit of
-          // work is lost to the brown-out.
-          const int kind = q.kind == QKind::kDense ? 1 : 0;
-          write_checkpoint(ctx.dev, ctx.cm, ctx.layer, unit + 1, kind, nullptr,
-                           kind == 1 ? &q : nullptr, st);
-        }
-      };
-
-      if (q.kind == QKind::kBcmDense) {
-        ace::BcmState bst{0, ace::BcmStage::kLoad, 0, 0, 0};
-        if (resuming && rp.is_bcm) {
-          bst = rp.bcm;
-          restore_bcm_payload(dev, cm, rp, q);
-        }
-        FlexBcmObserver obs(*this, opts, st);
-        ace::run_bcm(ctx, bst, &obs);
-      } else {
-        std::size_t start = 0;
-        if (resuming) {
-          start = rp.unit;
-          if (q.kind == QKind::kDense && rp.kind == 1 && start > 0) {
-            ace::move_words(dev, MemKind::kFram, rp.slot_base + kPayload, MemKind::kSram,
-                            cm.sram.acc32, 2 * q.out_ch);
-          }
-        }
-        ace::run_layer(ctx, start, hooks);
-      }
-
-      // Mandatory layer-transition checkpoint (header-only): resume never
-      // reaches back past a completed layer.
-      write_checkpoint(dev, cm, /*layer=*/l + 1, /*unit=*/0, /*kind=*/0, nullptr, nullptr,
-                       st);
-    }
-  }
-
   void restore_bcm_payload(dev::Device& dev, const ace::CompiledModel& cm,
                            const ResumePoint& rp, const QLayer& q) {
     const std::size_t k = q.k;
@@ -211,25 +219,23 @@ class FlexRuntime : public InferenceRuntime {
   // a power failure and checkpoints the latest intermediate result").
   // Edge-triggering (arm above the threshold, fire below it) keeps a
   // mis-thresholded monitor from checkpointing at the resume point and
-  // burning the burst; the progress guard in infer() covers the rest.
-  void poll_and_checkpoint(ace::ExecCtx& ctx, const RunOptions& opts, std::size_t unit,
-                           RunStats& st, const ace::BcmState* bcm = nullptr) {
+  // burning the burst; the progress guard in on_boot covers the rest.
+  void poll_and_checkpoint(StepContext& ctx, std::size_t unit,
+                           const ace::BcmState* bcm = nullptr) {
     if (warned_) return;
     const double v = ctx.dev.sample_voltage();
-    if (v >= opts.flex_v_warn) {
+    if (v >= ctx.opts.flex_v_warn) {
       armed_ = true;
       return;
     }
     if (!armed_) return;
     warned_ = true;
 
-    const QLayer& q = ctx.q();
     if (bcm != nullptr) {
-      write_checkpoint(ctx.dev, ctx.cm, ctx.layer, bcm->block, /*kind=*/2, bcm, &q, st);
-    } else if (q.kind == QKind::kDense) {
-      write_checkpoint(ctx.dev, ctx.cm, ctx.layer, unit, /*kind=*/1, nullptr, &q, st);
+      const QLayer& q = ctx.cm.model.layers[layer_];
+      write_checkpoint(ctx.dev, ctx.cm, layer_, bcm->block, /*kind=*/2, bcm, &q, ctx.st);
     } else {
-      write_checkpoint(ctx.dev, ctx.cm, ctx.layer, unit, /*kind=*/0, nullptr, nullptr, st);
+      on_warning(ctx, unit);
     }
   }
 
@@ -274,51 +280,57 @@ class FlexRuntime : public InferenceRuntime {
 
   class FlexBcmObserver : public ace::BcmObserver {
    public:
-    FlexBcmObserver(FlexRuntime& rt, const RunOptions& opts, RunStats& st)
-        : rt_(rt), opts_(opts), st_(st) {}
+    FlexBcmObserver(FlexPolicy& p, StepContext& ctx) : p_(p), ctx_(ctx) {}
 
-    void on_stage(ace::ExecCtx& ctx, const ace::BcmState& stg) override {
-      rt_.poll_and_checkpoint(ctx, opts_, stg.block, st_, &stg);
+    void on_stage(ace::ExecCtx& ectx, const ace::BcmState& stg) override {
+      (void)ectx;
+      p_.poll_and_checkpoint(ctx_, stg.block, &stg);
     }
-    void on_block_done(ace::ExecCtx& ctx, std::size_t block) override {
+    void on_block_done(ace::ExecCtx& ectx, std::size_t block) override {
       // Between blocks the resumable state is (block + 1, kLoad) with the
       // accumulator row live in SRAM. A row's last block defers to the row
       // commit so a restart can never skip committing the row output.
       const ace::BcmState next{block + 1, ace::BcmStage::kLoad, 0, 0, 0};
-      if ((block + 1) % ctx.q().bq != 0) {
-        rt_.poll_and_checkpoint(ctx, opts_, block + 1, st_, &next);
-        if (rt_.degraded_ || rt_.warned_) {
-          rt_.write_checkpoint(ctx.dev, ctx.cm, ctx.layer, block + 1, /*kind=*/2, &next,
-                               &ctx.q(), st_);
+      if ((block + 1) % ectx.q().bq != 0) {
+        p_.poll_and_checkpoint(ctx_, block + 1, &next);
+        if (p_.degraded_ || p_.warned_) {
+          p_.write_checkpoint(ectx.dev, ectx.cm, p_.layer_, block + 1, /*kind=*/2, &next,
+                              &ectx.q(), ctx_.st);
         }
       }
     }
-    void on_row_committed(ace::ExecCtx& ctx, std::size_t bi) override {
-      ++st_.units_executed;
-      if (rt_.degraded_ || rt_.warned_) {
-        const ace::BcmState next{(bi + 1) * ctx.q().bq, ace::BcmStage::kLoad, 0, 0, 0};
-        rt_.write_checkpoint(ctx.dev, ctx.cm, ctx.layer, next.block, /*kind=*/2, &next,
-                             &ctx.q(), st_);
+    void on_row_committed(ace::ExecCtx& ectx, std::size_t bi) override {
+      ++ctx_.st.units_executed;
+      if (p_.degraded_ || p_.warned_) {
+        const ace::BcmState next{(bi + 1) * ectx.q().bq, ace::BcmStage::kLoad, 0, 0, 0};
+        p_.write_checkpoint(ectx.dev, ectx.cm, p_.layer_, next.block, /*kind=*/2, &next,
+                            &ectx.q(), ctx_.st);
       }
     }
 
    private:
-    FlexRuntime& rt_;
-    const RunOptions& opts_;
-    RunStats& st_;
+    FlexPolicy& p_;
+    StepContext& ctx_;
   };
 
   std::size_t seq_ = 0;
   bool warned_ = false;
   bool armed_ = false;
   bool degraded_ = false;
+  std::size_t layer_ = 0;
+  bool resume_pending_ = false;
+  ResumePoint rp_;
+  ResumePoint prev_rp_;
+  bool have_prev_ = false;
   ace::ScratchArena arena_;  // reused across layers, attempts and inferences
 };
 
 }  // namespace
 
+std::unique_ptr<RuntimePolicy> make_flex_policy() { return std::make_unique<FlexPolicy>(); }
+
 std::unique_ptr<InferenceRuntime> make_flex_runtime() {
-  return std::make_unique<FlexRuntime>();
+  return make_policy_runtime(make_flex_policy());
 }
 
 double worst_checkpoint_energy(const ace::CompiledModel& cm, const dev::CostModel& cost) {

@@ -11,11 +11,6 @@ const char* outcome_name(Outcome o) {
   return "?";
 }
 
-void mark_completed(RunStats& st) {
-  st.completed = true;
-  st.outcome = Outcome::kCompleted;
-}
-
 bool recover_from_failure(dev::Device& dev, RunStats& st) {
   st.off_seconds += dev.supply()->recharge_to_on();
   if (!dev.supply()->on()) {

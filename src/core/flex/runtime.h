@@ -27,6 +27,12 @@
 // The correctness contract every intermittent runtime must satisfy (and
 // tests/flex_test.cpp verifies): the final output equals the same
 // runtime's continuous-power output bit for bit, for any failure schedule.
+//
+// All five strategies execute as RuntimePolicy implementations driven by
+// the shared IntermittentExecutor (core/flex/executor.h), which owns the
+// reboot/recover/starvation/stats loop and exposes incremental
+// start()/step()/finished() so runs can be suspended and interleaved.
+// The InferenceRuntime interface below is the classic one-call wrapper.
 #pragma once
 
 #include <memory>
@@ -49,9 +55,10 @@ enum class Outcome { kCompleted, kDidNotFinish, kStarved };
 const char* outcome_name(Outcome o);
 
 struct RunStats {
-  bool completed = false;  // outcome == kCompleted, kept for convenience
   Outcome outcome = Outcome::kDidNotFinish;
   std::vector<fx::q15_t> output;
+
+  bool completed() const { return outcome == Outcome::kCompleted; }
 
   double on_seconds = 0.0;      // device-active time
   double off_seconds = 0.0;     // recharge gaps
@@ -113,9 +120,6 @@ void load_input(dev::Device& dev, const ace::CompiledModel& cm,
 // Reads the final output from the last layer's activation buffer
 // (cost-free extraction for comparison).
 std::vector<fx::q15_t> read_output(dev::Device& dev, const ace::CompiledModel& cm);
-
-// Marks a successful run on the stats (completed + outcome).
-void mark_completed(RunStats& st);
 
 // Shared post-failure step: recharge the supply, detect starvation,
 // reboot the device. Returns false when the run must stop because the

@@ -1,4 +1,4 @@
-// SonicRuntime: SONIC-style software-only intermittent inference
+// SonicPolicy: SONIC-style software-only intermittent inference
 // (Gobieski et al., ASPLOS'19), re-implemented on the ehdnn device model.
 //
 // Execution is element-wise on the CPU — no LEA, no DMA — and progress is
@@ -15,7 +15,7 @@
 
 #include <algorithm>
 
-#include "core/flex/runtime.h"
+#include "core/flex/executor.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -32,36 +32,50 @@ using quant::QLayer;
 constexpr std::size_t kTile = 16;      // dense inner commit granularity
 constexpr std::size_t kCpuTile = 16;   // element layers commit granularity
 
-class SonicRuntime : public InferenceRuntime {
+class SonicPolicy : public RuntimePolicy {
  public:
   std::string name() const override { return "SONIC"; }
 
-  RunStats infer(dev::Device& dev, const ace::CompiledModel& cm,
-                 std::span<const fx::q15_t> input, const RunOptions& opts) override {
-    RunStats st;
-    st.units_total = sonic_units(cm);
-    const TraceBaseline base = mark(dev);
+  long units_total(const ace::CompiledModel& cm) const override {
+    return static_cast<long>(sonic_units(cm));
+  }
 
-    load_input(dev, cm, input);
-    // Fresh inference: reset the loop-continuation cursor.
+  void on_boot(StepContext& ctx, bool fresh) override {
+    dev::Device& dev = ctx.dev;
+    const ace::CompiledModel& cm = ctx.cm;
+    if (fresh) {
+      load_input(dev, cm, ctx.input);
+      // Fresh inference: reset the loop-continuation cursor.
+      dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
+      dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
+      dev.write(MemKind::kFram, cm.ctrl_base + 0, 0);
+    }
+    // Restore the cursor (three cheap FRAM reads at boot).
+    layer_ = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 0));
+    outer_ = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 1));
+    tile_ = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 2));
+  }
+
+  bool step(StepContext& ctx) override {
+    dev::Device& dev = ctx.dev;
+    const ace::CompiledModel& cm = ctx.cm;
+    run_sonic_layer(ctx, layer_, outer_, tile_);
+    outer_ = 0;
+    tile_ = 0;
+    // Layer transition (inner-first commit order).
+    notify_supply(dev, dev::SupplyEvent::kCommitBegin);
     dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
     dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
-    dev.write(MemKind::kFram, cm.ctrl_base + 0, 0);
+    dev.write(MemKind::kFram, cm.ctrl_base + 0, static_cast<q15_t>(layer_ + 1));
+    notify_supply(dev, dev::SupplyEvent::kCommitEnd);
+    return ++layer_ == cm.model.layers.size();
+  }
 
-    while (true) {
-      try {
-        run_from_ctrl(dev, cm, st);
-        mark_completed(st);
-        break;
-      } catch (const dev::PowerFailure&) {
-        if (dev.reboots() - base.reboots >= opts.max_reboots) break;
-        if (!recover_from_failure(dev, st)) break;
-      }
-    }
-
-    fill_stats(st, dev, base);
-    if (st.completed) st.output = read_output(dev, cm);
-    return st;
+  // Inner-tile commit: the only per-unit event SONIC has; progress_commits
+  // bookkeeping rides on the shared on_commit hook.
+  void on_commit(StepContext& ctx, std::size_t unit) override {
+    RuntimePolicy::on_commit(ctx, unit);
+    ++ctx.st.progress_commits;
   }
 
  private:
@@ -83,45 +97,28 @@ class SonicRuntime : public InferenceRuntime {
     return n;
   }
 
-  void run_from_ctrl(dev::Device& dev, const ace::CompiledModel& cm, RunStats& st) {
-    // Restore the cursor (three cheap FRAM reads at boot).
-    std::size_t layer = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 0));
-    std::size_t outer = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 1));
-    std::size_t tile = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 2));
-
-    for (; layer < cm.model.layers.size(); ++layer) {
-      run_sonic_layer(dev, cm, layer, outer, tile, st);
-      outer = 0;
-      tile = 0;
-      // Layer transition (inner-first commit order).
-      notify_supply(dev, dev::SupplyEvent::kCommitBegin);
-      dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
-      dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
-      dev.write(MemKind::kFram, cm.ctrl_base + 0, static_cast<q15_t>(layer + 1));
-      notify_supply(dev, dev::SupplyEvent::kCommitEnd);
-    }
-  }
-
-  void commit_inner(dev::Device& dev, const ace::CompiledModel& cm, std::size_t tile,
-                    RunStats& st) {
+  void commit_inner(StepContext& ctx, std::size_t tile) {
+    dev::Device& dev = ctx.dev;
     notify_supply(dev, dev::SupplyEvent::kCommitBegin);
-    dev.write(MemKind::kFram, cm.ctrl_base + 2, static_cast<q15_t>(tile));
+    dev.write(MemKind::kFram, ctx.cm.ctrl_base + 2, static_cast<q15_t>(tile));
     notify_supply(dev, dev::SupplyEvent::kCommitEnd);
-    ++st.progress_commits;
-    ++st.units_executed;
+    on_commit(ctx, tile);
   }
 
-  void commit_outer(dev::Device& dev, const ace::CompiledModel& cm, std::size_t outer,
-                    RunStats& st) {
+  void commit_outer(StepContext& ctx, std::size_t outer) {
+    dev::Device& dev = ctx.dev;
     notify_supply(dev, dev::SupplyEvent::kCommitBegin);
-    dev.write(MemKind::kFram, cm.ctrl_base + 2, 0);
-    dev.write(MemKind::kFram, cm.ctrl_base + 1, static_cast<q15_t>(outer));
+    dev.write(MemKind::kFram, ctx.cm.ctrl_base + 2, 0);
+    dev.write(MemKind::kFram, ctx.cm.ctrl_base + 1, static_cast<q15_t>(outer));
     notify_supply(dev, dev::SupplyEvent::kCommitEnd);
-    ++st.progress_commits;
+    ++ctx.st.progress_commits;
   }
 
-  void run_sonic_layer(dev::Device& dev, const ace::CompiledModel& cm, std::size_t l,
-                       std::size_t outer0, std::size_t tile0, RunStats& st) {
+  void run_sonic_layer(StepContext& ctx, std::size_t l, std::size_t outer0,
+                       std::size_t tile0) {
+    dev::Device& dev = ctx.dev;
+    const ace::CompiledModel& cm = ctx.cm;
+    RunStats& st = ctx.st;
     const QLayer& q = cm.model.layers[l];
     const Addr in = cm.act_in(l);
     const Addr out = cm.act_out(l);
@@ -155,10 +152,10 @@ class SonicRuntime : public InferenceRuntime {
               q15_t v = fx::narrow_q30(static_cast<std::int64_t>(acc), rshift);
               if (!q.bias.empty()) v = fx::add_sat(v, dev.read(MemKind::kFram, bb + o));
               dev.write(MemKind::kFram, out + o, v);
-              commit_outer(dev, cm, o + 1, st);
+              commit_outer(ctx, o + 1);
               ++st.units_executed;
             } else {
-              commit_inner(dev, cm, t + 1, st);
+              commit_inner(ctx, t + 1);
             }
           }
         }
@@ -190,7 +187,7 @@ class SonicRuntime : public InferenceRuntime {
           q15_t v = fx::narrow_q30(acc, rshift);
           if (!q.bias.empty()) v = fx::add_sat(v, dev.read(MemKind::kFram, bb + f));
           dev.write(MemKind::kFram, out + px, v);
-          commit_outer(dev, cm, px + 1, st);
+          commit_outer(ctx, px + 1);
           ++st.units_executed;
         }
         break;
@@ -217,7 +214,7 @@ class SonicRuntime : public InferenceRuntime {
           q15_t v = fx::narrow_q30(acc, rshift);
           if (!q.bias.empty()) v = fx::add_sat(v, dev.read(MemKind::kFram, bb + f));
           dev.write(MemKind::kFram, out + px, v);
-          commit_outer(dev, cm, px + 1, st);
+          commit_outer(ctx, px + 1);
           ++st.units_executed;
         }
         break;
@@ -254,7 +251,7 @@ class SonicRuntime : public InferenceRuntime {
             }
             dev.write(MemKind::kFram, out + e, v);
           }
-          commit_outer(dev, cm, t + 1, st);
+          commit_outer(ctx, t + 1);
           ++st.units_executed;
         }
         break;
@@ -264,12 +261,18 @@ class SonicRuntime : public InferenceRuntime {
         fail("SONIC has no BCM support (run it on the dense model)");
     }
   }
+
+  std::size_t layer_ = 0;
+  std::size_t outer_ = 0;
+  std::size_t tile_ = 0;
 };
 
 }  // namespace
 
+std::unique_ptr<RuntimePolicy> make_sonic_policy() { return std::make_unique<SonicPolicy>(); }
+
 std::unique_ptr<InferenceRuntime> make_sonic_runtime() {
-  return std::make_unique<SonicRuntime>();
+  return make_policy_runtime(make_sonic_policy());
 }
 
 }  // namespace ehdnn::flex

@@ -1,4 +1,4 @@
-// TailsRuntime: TAILS-style intermittent inference — SONIC's loop
+// TailsPolicy: TAILS-style intermittent inference — SONIC's loop
 // continuation protocol, with the inner vector work offloaded to the LEA
 // through DMA staging (Gobieski et al., ASPLOS'19, SSIII-C of this paper).
 //
@@ -17,7 +17,7 @@
 
 #include <algorithm>
 
-#include "core/flex/runtime.h"
+#include "core/flex/executor.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -31,109 +31,98 @@ using fx::q15_t;
 using quant::QKind;
 using quant::QLayer;
 
-class TailsRuntime : public InferenceRuntime {
+class TailsPolicy : public RuntimePolicy {
  public:
   std::string name() const override { return "TAILS"; }
 
-  RunStats infer(dev::Device& dev, const ace::CompiledModel& cm,
-                 std::span<const fx::q15_t> input, const RunOptions& opts) override {
-    RunStats st;
-    st.units_total = total_units(cm);
-    const TraceBaseline base = mark(dev);
+  void on_boot(StepContext& ctx, bool fresh) override {
+    dev::Device& dev = ctx.dev;
+    const ace::CompiledModel& cm = ctx.cm;
+    if (fresh) {
+      load_input(dev, cm, ctx.input);
+      dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
+      dev.write(MemKind::kFram, cm.ctrl_base + 0, 0);
+    }
+    layer_ = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 0));
+    unit_ = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 1));
+  }
 
-    load_input(dev, cm, input);
-    dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
-    dev.write(MemKind::kFram, cm.ctrl_base + 0, 0);
+  bool step(StepContext& ctx) override {
+    dev::Device& dev = ctx.dev;
+    const ace::CompiledModel& cm = ctx.cm;
+    const std::size_t l = layer_;
+    const QLayer& q = cm.model.layers[l];
+    ace::ExecCtx ectx{dev, cm, l, cm.act_in(l), cm.act_out(l),
+                      ctx.opts.scaling, ctx.opts.stats, &arena_};
 
-    while (true) {
-      try {
-        run_from_ctrl(dev, cm, opts, st);
-        mark_completed(st);
-        break;
-      } catch (const dev::PowerFailure&) {
-        if (dev.reboots() - base.reboots >= opts.max_reboots) break;
-        if (!recover_from_failure(dev, st)) break;
+    if (q.kind == QKind::kDense && unit_ > 0) {
+      // Rebuild the accumulator from the chunk-parity slots. Commits
+      // during chunk c land in slot[(c+1) & 1] block by block, so on
+      // resume at (c0, nb0): neuron blocks < nb0 carry chunk c0's folds
+      // (new slot) and blocks >= nb0 carry only chunks < c0 (old slot).
+      const std::size_t nblocks = ace::dense_neuron_blocks(q);
+      const std::size_t c0 = unit_ / nblocks;
+      const std::size_t nb0 = unit_ % nblocks;
+      const Addr slot_new = cm.nv_acc_base + ((c0 + 1) & 1) * cm.nv_acc_slot_words;
+      const Addr slot_old = cm.nv_acc_base + (c0 & 1) * cm.nv_acc_slot_words;
+      for (std::size_t nb = 0; nb < nblocks; ++nb) {
+        const std::size_t o_lo = nb * ace::kDenseNeuronBlock;
+        const std::size_t o_hi = std::min(o_lo + ace::kDenseNeuronBlock, q.out_ch);
+        if (nb >= nb0 && c0 == 0) {
+          // No chunk has folded into these blocks yet: fresh zeros (the
+          // old slot would be a previous inference's leftovers).
+          for (std::size_t o = o_lo; o < o_hi; ++o) {
+            ace::write_acc32(dev, MemKind::kSram, cm.sram.acc32, o, 0);
+          }
+          continue;
+        }
+        const Addr src = (nb < nb0 ? slot_new : slot_old) + 2 * o_lo;
+        ace::move_words(dev, MemKind::kFram, src, MemKind::kSram,
+                        cm.sram.acc32 + 2 * o_lo, 2 * (o_hi - o_lo));
       }
     }
 
-    fill_stats(st, dev, base);
-    if (st.completed) st.output = read_output(dev, cm);
-    return st;
+    ace::UnitHooks hooks;
+    hooks.committed = [&](std::size_t u) { on_commit(ctx, u); };
+
+    if (q.kind == QKind::kBcmDense) {
+      run_tails_bcm(ectx, unit_, ctx.st);
+    } else {
+      ace::run_layer(ectx, unit_, hooks);
+    }
+
+    unit_ = 0;
+    notify_supply(dev, dev::SupplyEvent::kCommitBegin);
+    dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
+    dev.write(MemKind::kFram, cm.ctrl_base + 0, static_cast<q15_t>(l + 1));
+    notify_supply(dev, dev::SupplyEvent::kCommitEnd);
+    return ++layer_ == cm.model.layers.size();
+  }
+
+  // Chunk-parity, block-granular accumulator commit (W-A-R safe: a torn
+  // block write is re-read from the untouched old slot), then the cursor.
+  void on_commit(StepContext& ctx, std::size_t unit) override {
+    dev::Device& dev = ctx.dev;
+    const ace::CompiledModel& cm = ctx.cm;
+    const QLayer& q = cm.model.layers[layer_];
+    notify_supply(dev, dev::SupplyEvent::kCommitBegin);
+    if (q.kind == QKind::kDense) {
+      const std::size_t nblocks = ace::dense_neuron_blocks(q);
+      const std::size_t c = unit / nblocks;
+      const std::size_t nb = unit % nblocks;
+      const std::size_t o_lo = nb * ace::kDenseNeuronBlock;
+      const std::size_t o_hi = std::min(o_lo + ace::kDenseNeuronBlock, q.out_ch);
+      const Addr slot = cm.nv_acc_base + ((c + 1) & 1) * cm.nv_acc_slot_words;
+      ace::move_words(dev, MemKind::kSram, cm.sram.acc32 + 2 * o_lo, MemKind::kFram,
+                      slot + 2 * o_lo, 2 * (o_hi - o_lo));
+    }
+    dev.write(MemKind::kFram, cm.ctrl_base + 1, static_cast<q15_t>(unit + 1));
+    notify_supply(dev, dev::SupplyEvent::kCommitEnd);
+    ++ctx.st.progress_commits;
+    ++ctx.st.units_executed;
   }
 
  private:
-  void run_from_ctrl(dev::Device& dev, const ace::CompiledModel& cm, const RunOptions& opts,
-                     RunStats& st) {
-    std::size_t layer = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 0));
-    std::size_t unit = static_cast<std::uint16_t>(dev.read(MemKind::kFram, cm.ctrl_base + 1));
-
-    for (; layer < cm.model.layers.size(); ++layer) {
-      const QLayer& q = cm.model.layers[layer];
-      ace::ExecCtx ctx{dev, cm, layer, cm.act_in(layer), cm.act_out(layer), opts.scaling,
-                       opts.stats, &arena_};
-
-      if (q.kind == QKind::kDense && unit > 0) {
-        // Rebuild the accumulator from the chunk-parity slots. Commits
-        // during chunk c land in slot[(c+1) & 1] block by block, so on
-        // resume at (c0, nb0): neuron blocks < nb0 carry chunk c0's folds
-        // (new slot) and blocks >= nb0 carry only chunks < c0 (old slot).
-        const std::size_t nblocks = ace::dense_neuron_blocks(q);
-        const std::size_t c0 = unit / nblocks;
-        const std::size_t nb0 = unit % nblocks;
-        const Addr slot_new = cm.nv_acc_base + ((c0 + 1) & 1) * cm.nv_acc_slot_words;
-        const Addr slot_old = cm.nv_acc_base + (c0 & 1) * cm.nv_acc_slot_words;
-        for (std::size_t nb = 0; nb < nblocks; ++nb) {
-          const std::size_t o_lo = nb * ace::kDenseNeuronBlock;
-          const std::size_t o_hi = std::min(o_lo + ace::kDenseNeuronBlock, q.out_ch);
-          if (nb >= nb0 && c0 == 0) {
-            // No chunk has folded into these blocks yet: fresh zeros (the
-            // old slot would be a previous inference's leftovers).
-            for (std::size_t o = o_lo; o < o_hi; ++o) {
-              ace::write_acc32(dev, MemKind::kSram, cm.sram.acc32, o, 0);
-            }
-            continue;
-          }
-          const Addr src = (nb < nb0 ? slot_new : slot_old) + 2 * o_lo;
-          ace::move_words(dev, MemKind::kFram, src, MemKind::kSram,
-                          cm.sram.acc32 + 2 * o_lo, 2 * (o_hi - o_lo));
-        }
-      }
-
-      ace::UnitHooks hooks;
-      hooks.committed = [&](std::size_t u) {
-        notify_supply(dev, dev::SupplyEvent::kCommitBegin);
-        if (q.kind == QKind::kDense) {
-          // Chunk-parity, block-granular accumulator commit (W-A-R safe:
-          // a torn block write is re-read from the untouched old slot).
-          const std::size_t nblocks = ace::dense_neuron_blocks(q);
-          const std::size_t c = u / nblocks;
-          const std::size_t nb = u % nblocks;
-          const std::size_t o_lo = nb * ace::kDenseNeuronBlock;
-          const std::size_t o_hi = std::min(o_lo + ace::kDenseNeuronBlock, q.out_ch);
-          const Addr slot = cm.nv_acc_base + ((c + 1) & 1) * cm.nv_acc_slot_words;
-          ace::move_words(dev, MemKind::kSram, cm.sram.acc32 + 2 * o_lo, MemKind::kFram,
-                          slot + 2 * o_lo, 2 * (o_hi - o_lo));
-        }
-        dev.write(MemKind::kFram, cm.ctrl_base + 1, static_cast<q15_t>(u + 1));
-        notify_supply(dev, dev::SupplyEvent::kCommitEnd);
-        ++st.progress_commits;
-        ++st.units_executed;
-      };
-
-      if (q.kind == QKind::kBcmDense) {
-        run_tails_bcm(ctx, unit, st);
-      } else {
-        ace::run_layer(ctx, unit, hooks);
-      }
-
-      unit = 0;
-      notify_supply(dev, dev::SupplyEvent::kCommitBegin);
-      dev.write(MemKind::kFram, cm.ctrl_base + 1, 0);
-      dev.write(MemKind::kFram, cm.ctrl_base + 0, static_cast<q15_t>(layer + 1));
-      notify_supply(dev, dev::SupplyEvent::kCommitEnd);
-    }
-  }
-
   // BCM under TAILS' protocol: progress per *block* (not per stage). The
   // accumulator row is parity-committed to FRAM after every block, and the
   // control cursor encodes the block index; a failure inside a block redoes
@@ -185,13 +174,17 @@ class TailsRuntime : public InferenceRuntime {
     ace::run_bcm(ctx, ace::BcmState{start_unit, ace::BcmStage::kLoad, 0, 0, 0}, &obs);
   }
 
+  std::size_t layer_ = 0;
+  std::size_t unit_ = 0;
   ace::ScratchArena arena_;  // reused across layers, attempts and inferences
 };
 
 }  // namespace
 
+std::unique_ptr<RuntimePolicy> make_tails_policy() { return std::make_unique<TailsPolicy>(); }
+
 std::unique_ptr<InferenceRuntime> make_tails_runtime() {
-  return std::make_unique<TailsRuntime>();
+  return make_policy_runtime(make_tails_policy());
 }
 
 }  // namespace ehdnn::flex

@@ -132,6 +132,23 @@ class SolarDaySource : public HarvestSource {
   double peak_, day_, daylight_, floor_;
 };
 
+// A time-shifted view of another source: power_at(t) = inner(t + offset).
+// The fleet harness hands each simulated device its own offset into one
+// shared harvest recording, modelling a population of devices that see
+// the same environment out of phase (different desks, different pockets).
+// Non-owning: `inner` must outlive the view.
+class TimeOffsetSource : public HarvestSource {
+ public:
+  TimeOffsetSource(const HarvestSource& inner, double offset_s)
+      : inner_(inner), offset_(offset_s) {}
+  double power_at(double t) const override { return inner_.power_at(t + offset_); }
+  double offset() const { return offset_; }
+
+ private:
+  const HarvestSource& inner_;
+  double offset_;
+};
+
 // Replays `samples` (watts) at fixed `sample_dt` spacing, looping.
 class TraceSource : public HarvestSource {
  public:

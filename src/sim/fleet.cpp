@@ -1,0 +1,213 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+
+#include "core/ace/compiled_model.h"
+#include "core/flex/executor.h"
+#include "power/capacitor.h"
+#include "power/factory.h"
+#include "power/monitor.h"
+#include "sim/scenario.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ehdnn::sim {
+
+namespace {
+
+// Everything one simulated device owns. Pointer-stable (held by
+// unique_ptr) because supplies and executors point into it.
+struct FleetDevice {
+  power::TimeOffsetSource source;
+  power::CapacitorSupply supply;
+  dev::Device device;
+  ace::CompiledModel cm;
+  std::vector<fx::q15_t> input;
+  std::unique_ptr<flex::RuntimePolicy> policy;
+  flex::IntermittentExecutor ex;
+  flex::RunOptions opts;
+  long steps = 0;
+
+  FleetDevice(const power::HarvestSource& base, double offset,
+              const power::CapacitorConfig& ccfg, const dev::DeviceConfig& dcfg,
+              const quant::QuantModel& qm, std::vector<fx::q15_t> in,
+              std::unique_ptr<flex::RuntimePolicy> pol)
+      : source(base, offset),
+        supply(source, ccfg),
+        device(dcfg),
+        input(std::move(in)),
+        policy(std::move(pol)),
+        ex(*policy) {
+    // Supply must be attached before compile so deploy-time accounting
+    // matches the scenario engine's run_cell exactly.
+    device.attach_supply(&supply);
+    cm = ace::compile(qm, device);
+  }
+};
+
+double nearest_rank(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+FleetReport run_fleet(const FleetOptions& opts) {
+  check(opts.devices > 0, "fleet: need at least one device");
+  const bool compressed = runtime_uses_compressed_model(opts.runtime);  // throws on bad key
+  const auto base_source = power::make_harvest_source(opts.source);
+
+  // One model instance for the whole fleet, seeded like the scenario
+  // sweep; each device gets its own derived input (different users,
+  // different samples).
+  Rng model_rng(opts.seed + static_cast<std::uint64_t>(opts.task));
+  const quant::QuantModel qm = models::make_deployed_qmodel(opts.task, compressed, model_rng);
+  const std::size_t in_size = qm.layers.front().in_size();
+
+  power::CapacitorConfig ccfg;
+  ccfg.capacitance_f = opts.capacitance_f;
+  ccfg.max_off_s = opts.max_off_s;
+
+  const int n = opts.devices;
+  std::vector<std::unique_ptr<FleetDevice>> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    const double offset =
+        opts.offset_spread_s * static_cast<double>(d) / static_cast<double>(n);
+    dev::DeviceConfig dcfg = models::deployment_device_config(compressed);
+    dcfg.scramble_seed =
+        opts.seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(d) + 1);
+    Rng in_rng(opts.seed ^ (0xf1ee7u + static_cast<std::uint64_t>(d) * 0x10001u));
+    std::vector<fx::q15_t> input(in_size);
+    for (auto& v : input) v = static_cast<fx::q15_t>(in_rng.next_u64());
+    fleet.push_back(std::make_unique<FleetDevice>(*base_source, offset, ccfg, dcfg, qm,
+                                                  std::move(input),
+                                                  make_policy(opts.runtime)));
+    FleetDevice& fd = *fleet.back();
+    fd.opts.max_reboots = opts.max_reboots;
+    fd.opts.flex_v_warn = power::warn_voltage_for(
+        fd.supply.config(), flex::worst_checkpoint_energy(fd.cm, fd.device.cost()) + 5e-6,
+        3.0);
+    fd.ex.start(fd.device, fd.cm, fd.input, fd.opts);
+  }
+
+  // Round-robin scheduler: one executor slice per live device per round.
+  // Devices suspend between slices at zero cost, so the interleaving is
+  // free — and the loop is the fleet-scale use of the incremental API.
+  bool any_live = true;
+  while (any_live) {
+    any_live = false;
+    for (auto& fd : fleet) {
+      if (fd->ex.finished()) continue;
+      fd->ex.step();
+      ++fd->steps;
+      any_live = any_live || !fd->ex.finished();
+    }
+  }
+
+  FleetReport r;
+  r.opts = opts;
+  r.devices.reserve(static_cast<std::size_t>(n));
+  std::vector<double> latencies;
+  for (int d = 0; d < n; ++d) {
+    FleetDevice& fd = *fleet[static_cast<std::size_t>(d)];
+    const flex::RunStats st = fd.ex.take_stats();
+    FleetDeviceResult res;
+    res.device = d;
+    res.offset_s = fd.source.offset();
+    res.outcome = st.outcome;
+    res.on_s = st.on_seconds;
+    res.off_s = st.off_seconds;
+    res.total_s = st.total_seconds();
+    res.energy_j = st.energy_j;
+    res.reboots = st.reboots;
+    res.checkpoints = st.checkpoints;
+    res.progress_commits = st.progress_commits;
+    res.steps = fd.steps;
+    switch (st.outcome) {
+      case flex::Outcome::kCompleted:
+        ++r.completed_count;
+        latencies.push_back(res.total_s);
+        break;
+      case flex::Outcome::kDidNotFinish:
+        ++r.dnf_count;
+        break;
+      case flex::Outcome::kStarved:
+        ++r.starved_count;
+        break;
+    }
+    r.total_reboots += res.reboots;
+    r.total_energy_j += res.energy_j;
+    if (opts.verbose) {
+      std::fprintf(stderr, "fleet dev %3d (offset %.4fs): %s in %.4fs, %ld reboots\n", d,
+                   res.offset_s, flex::outcome_name(res.outcome), res.total_s, res.reboots);
+    }
+    r.devices.push_back(res);
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  r.latency_p50_s = nearest_rank(latencies, 50.0);
+  r.latency_p90_s = nearest_rank(latencies, 90.0);
+  r.latency_p99_s = nearest_rank(latencies, 99.0);
+  r.latency_max_s = latencies.empty() ? 0.0 : latencies.back();
+  r.completion_rate = static_cast<double>(r.completed_count) / static_cast<double>(n);
+  return r;
+}
+
+void write_fleet_json(std::ostream& os, const FleetReport& r) {
+  const FleetOptions& o = r.opts;
+  os << "{\n  \"schema\": \"ehdnn-fleet-v1\",\n";
+  os << "  \"seed\": " << o.seed << ",\n";
+  os << "  \"task\": " << json_str(models::task_name(o.task)) << ",\n";
+  os << "  \"runtime\": " << json_str(o.runtime) << ",\n";
+  os << "  \"source\": " << json_str(o.source) << ",\n";
+  os << "  \"devices\": " << o.devices << ",\n";
+  os << "  \"capacitance_f\": " << o.capacitance_f << ",\n";
+  os << "  \"max_off_s\": " << o.max_off_s << ",\n";
+  os << "  \"offset_spread_s\": " << o.offset_spread_s << ",\n";
+  os << "  \"aggregate\": {\n";
+  os << "    \"completed\": " << r.completed_count << ", \"dnf\": " << r.dnf_count
+     << ", \"starved\": " << r.starved_count << ",\n";
+  os << "    \"completion_rate\": " << r.completion_rate << ",\n";
+  os << "    \"latency_p50_s\": " << r.latency_p50_s << ", \"latency_p90_s\": "
+     << r.latency_p90_s << ", \"latency_p99_s\": " << r.latency_p99_s
+     << ", \"latency_max_s\": " << r.latency_max_s << ",\n";
+  os << "    \"total_reboots\": " << r.total_reboots << ", \"total_energy_j\": "
+     << r.total_energy_j << "\n  },\n";
+  os << "  \"per_device\": [\n";
+  for (std::size_t i = 0; i < r.devices.size(); ++i) {
+    const FleetDeviceResult& d = r.devices[i];
+    os << "    {\"device\": " << d.device << ", \"offset_s\": " << d.offset_s
+       << ", \"outcome\": " << json_str(flex::outcome_name(d.outcome))
+       << ", \"total_s\": " << d.total_s << ", \"on_s\": " << d.on_s << ", \"off_s\": "
+       << d.off_s << ",\n     \"energy_j\": " << d.energy_j << ", \"reboots\": "
+       << d.reboots << ", \"checkpoints\": " << d.checkpoints
+       << ", \"progress_commits\": " << d.progress_commits << ", \"steps\": " << d.steps
+       << "}" << (i + 1 < r.devices.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace ehdnn::sim

@@ -1,0 +1,83 @@
+// The fleet harness: N independent intermittent devices stepped
+// round-robin against time-offset views of one harvest environment —
+// the first "millions of users" scaling artifact on the road from a
+// single-device reproduction to population-scale simulation.
+//
+// Each device owns its Device model, capacitor supply, executor, and a
+// per-device derived input; all of them share one immutable harvest
+// source through power::TimeOffsetSource (device i sees the recording
+// shifted by i * spread / N). The round-robin scheduler advances every
+// live device by exactly one executor slice per round — this is the
+// incremental start()/step()/finished() API of flex::IntermittentExecutor
+// doing real work: hundreds of suspended inferences interleaved on one
+// simulator thread. The report aggregates completion counts and latency
+// percentiles across the population (FLEET.json, schema ehdnn-fleet-v1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/flex/runtime.h"
+#include "models/zoo.h"
+
+namespace ehdnn::sim {
+
+struct FleetOptions {
+  int devices = 64;
+  models::Task task = models::Task::kMnist;
+  std::string runtime = "flex";            // any all_runtime_keys() entry
+  std::string source = "trace:path=traces/rf_office.csv";
+  double capacitance_f = 10e-6;            // per-device buffer
+  double max_off_s = 30.0;                 // starvation guard
+  long max_reboots = 100000;
+  // Device i's harvest view is shifted by i * offset_spread_s / devices;
+  // the default spreads the fleet across one second of the recording
+  // (the committed traces span 1-2 s and loop).
+  double offset_spread_s = 1.0;
+  std::uint64_t seed = 0xb0a710ad;         // model weights + per-device inputs
+  bool verbose = false;                    // per-device line to stderr
+};
+
+// One device's run, plus its fleet coordinates.
+struct FleetDeviceResult {
+  int device = 0;
+  double offset_s = 0.0;
+  flex::Outcome outcome = flex::Outcome::kDidNotFinish;
+  bool completed() const { return outcome == flex::Outcome::kCompleted; }
+  double on_s = 0.0;
+  double off_s = 0.0;
+  double total_s = 0.0;   // per-device latency (on + off)
+  double energy_j = 0.0;
+  long reboots = 0;
+  long checkpoints = 0;
+  long progress_commits = 0;
+  long steps = 0;          // executor slices this device took
+};
+
+struct FleetReport {
+  FleetOptions opts;
+  std::vector<FleetDeviceResult> devices;
+
+  int completed_count = 0;
+  int dnf_count = 0;
+  int starved_count = 0;
+  long total_reboots = 0;
+  double total_energy_j = 0.0;
+  // Latency percentiles over completed devices (nearest-rank), seconds.
+  double latency_p50_s = 0.0;
+  double latency_p90_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+  double completion_rate = 0.0;  // completed / devices
+};
+
+// Builds the fleet and steps it round-robin to completion. Deterministic
+// for a given options struct. Throws on unknown runtime keys or harvest
+// specs (fail fast, before any device boots).
+FleetReport run_fleet(const FleetOptions& opts);
+
+// FLEET.json, schema ehdnn-fleet-v1 (see BENCHMARKS.md "Fleet").
+void write_fleet_json(std::ostream& os, const FleetReport& r);
+
+}  // namespace ehdnn::sim

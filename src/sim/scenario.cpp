@@ -1,10 +1,13 @@
 #include "sim/scenario.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "core/ace/compiled_model.h"
 #include "power/capacitor.h"
@@ -19,17 +22,24 @@ namespace ehdnn::sim {
 
 namespace {
 
-struct RuntimeKey {
+// THE runtime table: key, model variant, and both factories in one place
+// (the sweep, the fuzzer, and the fleet harness all resolve through it).
+struct RuntimeEntry {
   const char* key;
   bool compressed;  // deployment model vs dense twin
+  std::unique_ptr<flex::RuntimePolicy> (*make_policy)();
 };
 
-constexpr RuntimeKey kRuntimeKeys[] = {
-    {"base", false}, {"ace", true}, {"sonic", false}, {"tails", false}, {"flex", true},
+constexpr RuntimeEntry kRuntimeTable[] = {
+    {"base", false, flex::make_ace_policy},
+    {"ace", true, flex::make_ace_policy},
+    {"sonic", false, flex::make_sonic_policy},
+    {"tails", false, flex::make_tails_policy},
+    {"flex", true, flex::make_flex_policy},
 };
 
-const RuntimeKey& runtime_key(const std::string& key) {
-  for (const auto& rk : kRuntimeKeys) {
+const RuntimeEntry& runtime_entry(const std::string& key) {
+  for (const auto& rk : kRuntimeTable) {
     if (key == rk.key) return rk;
   }
   fail("scenario: unknown runtime \"" + key + "\" (base|ace|sonic|tails|flex)");
@@ -58,12 +68,17 @@ std::string json_str(const std::string& s) {
 }
 
 // `src` is the scenario's shared (immutable) harvest source, or nullptr
-// for continuous bench power; the stateful capacitor is per cell.
+// for continuous bench power; the stateful capacitor is per cell, as is
+// the Device (seeded per cell so cells stay independent under any job
+// interleaving).
 ScenarioCell run_cell(const std::string& rt_key, models::Task task,
                       const quant::QuantModel& qm, const std::vector<fx::q15_t>& input,
-                      const ScenarioSpec& sc, const power::HarvestSource* src) {
-  const RuntimeKey& rk = runtime_key(rt_key);
-  dev::Device dev(models::deployment_device_config(rk.compressed));
+                      const ScenarioSpec& sc, const power::HarvestSource* src,
+                      std::uint64_t scramble_seed) {
+  const RuntimeEntry& rk = runtime_entry(rt_key);
+  dev::DeviceConfig dcfg = models::deployment_device_config(rk.compressed);
+  dcfg.scramble_seed = scramble_seed;
+  dev::Device dev(dcfg);
 
   power::ContinuousPower cont;
   std::unique_ptr<power::CapacitorSupply> cap;
@@ -94,7 +109,6 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
   cell.runtime = rt_key;
   cell.scenario = sc.name;
   cell.outcome = st.outcome;
-  cell.completed = st.completed;
   cell.on_s = st.on_seconds;
   cell.off_s = st.off_seconds;
   cell.total_s = st.total_seconds();
@@ -110,18 +124,22 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
 
 }  // namespace
 
+std::unique_ptr<flex::RuntimePolicy> make_policy(const std::string& key) {
+  return runtime_entry(key).make_policy();
+}
+
 std::unique_ptr<flex::InferenceRuntime> make_runtime(const std::string& key) {
-  runtime_key(key);  // validate (throws on unknown)
-  if (key == "sonic") return flex::make_sonic_runtime();
-  if (key == "tails") return flex::make_tails_runtime();
-  if (key == "flex") return flex::make_flex_runtime();
-  return flex::make_ace_runtime();  // base and ace
+  return flex::make_policy_runtime(make_policy(key));
+}
+
+bool runtime_uses_compressed_model(const std::string& key) {
+  return runtime_entry(key).compressed;
 }
 
 const std::vector<std::string>& all_runtime_keys() {
   static const std::vector<std::string> keys = [] {
     std::vector<std::string> v;
-    for (const auto& rk : kRuntimeKeys) v.emplace_back(rk.key);
+    for (const auto& rk : kRuntimeTable) v.emplace_back(rk.key);
     return v;
   }();
   return keys;
@@ -173,9 +191,10 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
   m.scenarios = scenarios;
 
   // Fail fast on bad inputs before hours of sweeping; sources are
-  // immutable, so each scenario's is built once and shared by its cells.
+  // immutable (power_at is const), so each scenario's is built once and
+  // shared read-only by its cells across workers.
   std::vector<bool> need_variant = {false, false};  // [compressed]
-  for (const auto& rt : runtimes) need_variant[runtime_key(rt).compressed] = true;
+  for (const auto& rt : runtimes) need_variant[runtime_entry(rt).compressed] = true;
   std::vector<std::unique_ptr<power::HarvestSource>> sources;
   for (const auto& sc : scenarios) {
     check(!sc.name.empty(), "scenario with empty name");
@@ -183,39 +202,71 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
                                                 : power::make_harvest_source(sc.source));
   }
 
-  for (const auto task : tasks) {
+  // Deployment + dense instances and inputs for every task, seeded
+  // exactly like the paper benches so matrix cells are comparable to
+  // fig7b rows. Only the variants the requested runtimes execute are
+  // built (the dense HAR/OKG twins are the expensive ones). Models and
+  // inputs are immutable during the sweep — workers share them.
+  std::vector<std::map<bool, quant::QuantModel>> qms(tasks.size());
+  std::vector<std::map<bool, std::vector<fx::q15_t>>> inputs(tasks.size());
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    const models::Task task = tasks[ti];
     m.tasks.push_back(models::task_name(task));
-
-    // Deployment + dense instances and input, seeded exactly like the
-    // paper benches so matrix cells are comparable to fig7b rows. Only
-    // the variants the requested runtimes execute are built (the dense
-    // HAR/OKG twins are the expensive ones).
-    std::map<bool, quant::QuantModel> qms;
-    std::map<bool, std::vector<fx::q15_t>> inputs;
     for (const bool compressed : {false, true}) {
       if (!need_variant[compressed]) continue;
       Rng rng(opts.seed + static_cast<std::uint64_t>(task));
-      qms[compressed] = models::make_deployed_qmodel(task, compressed, rng);
-      std::vector<fx::q15_t> input(qms[compressed].layers.front().in_size());
+      qms[ti][compressed] = models::make_deployed_qmodel(task, compressed, rng);
+      std::vector<fx::q15_t> input(qms[ti][compressed].layers.front().in_size());
       for (auto& v : input) v = static_cast<fx::q15_t>(rng.next_u64());
-      inputs[compressed] = std::move(input);
+      inputs[ti][compressed] = std::move(input);
     }
+  }
 
-    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+  // Flatten the sweep into an index space with the canonical cell order
+  // (task-major, then scenario, then runtime); workers claim cells from
+  // an atomic cursor and write results into their fixed slot, so the
+  // matrix is byte-identical for any job count.
+  const std::size_t n_cells = tasks.size() * scenarios.size() * runtimes.size();
+  m.cells.resize(n_cells);
+  std::atomic<std::size_t> cursor{0};
+  std::mutex log_mu;
+
+  auto worker = [&] {
+    for (std::size_t i = cursor.fetch_add(1); i < n_cells; i = cursor.fetch_add(1)) {
+      const std::size_t ri = i % runtimes.size();
+      const std::size_t si = (i / runtimes.size()) % scenarios.size();
+      const std::size_t ti = i / (runtimes.size() * scenarios.size());
+      const std::string& rt = runtimes[ri];
       const ScenarioSpec& sc = scenarios[si];
-      for (const auto& rt : runtimes) {
-        const bool compressed = runtime_key(rt).compressed;
-        ScenarioCell cell =
-            run_cell(rt, task, qms[compressed], inputs[compressed], sc, sources[si].get());
-        if (opts.verbose) {
-          std::fprintf(stderr, "scenario %s/%s/%s: %s (on %.3fs, off %.3fs, %ld reboots)\n",
-                       cell.task.c_str(), sc.name.c_str(), rt.c_str(),
-                       flex::outcome_name(cell.outcome), cell.on_s, cell.off_s,
-                       cell.reboots);
-        }
-        m.cells.push_back(std::move(cell));
+      const bool compressed = runtime_entry(rt).compressed;
+      // Per-cell derived scramble seed: cells are fully independent and
+      // reproducible in isolation. (Outputs and modeled costs are
+      // scramble-independent — the crash-consistency contract — so this
+      // cannot change the matrix.)
+      const std::uint64_t cell_seed =
+          opts.seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(i) + 1);
+      ScenarioCell cell = run_cell(rt, tasks[ti], qms[ti].at(compressed),
+                                   inputs[ti].at(compressed), sc, sources[si].get(),
+                                   cell_seed);
+      if (opts.verbose) {
+        const std::lock_guard<std::mutex> lock(log_mu);
+        std::fprintf(stderr, "scenario %s/%s/%s: %s (on %.3fs, off %.3fs, %ld reboots)\n",
+                     cell.task.c_str(), sc.name.c_str(), rt.c_str(),
+                     flex::outcome_name(cell.outcome), cell.on_s, cell.off_s, cell.reboots);
       }
+      m.cells[i] = std::move(cell);
     }
+  };
+
+  const int jobs = std::max(opts.jobs, 1);
+  if (jobs == 1 || n_cells <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    const std::size_t n_threads = std::min<std::size_t>(jobs, n_cells);
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
   }
   return m;
 }
@@ -246,7 +297,7 @@ void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m) {
     os << "    {\"task\": " << json_str(c.task) << ", \"scenario\": " << json_str(c.scenario)
        << ", \"runtime\": " << json_str(c.runtime)
        << ", \"outcome\": " << json_str(flex::outcome_name(c.outcome))
-       << ", \"completed\": " << (c.completed ? "true" : "false") << ",\n     \"on_s\": "
+       << ", \"completed\": " << (c.completed() ? "true" : "false") << ",\n     \"on_s\": "
        << c.on_s << ", \"off_s\": " << c.off_s << ", \"total_s\": " << c.total_s
        << ", \"energy_j\": " << c.energy_j
        << ", \"checkpoint_energy_j\": " << c.checkpoint_energy_j << ",\n     \"reboots\": "

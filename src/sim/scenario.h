@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/flex/executor.h"
 #include "core/flex/runtime.h"
 #include "models/zoo.h"
 
@@ -38,7 +39,7 @@ struct ScenarioCell {
   std::string runtime;
   std::string scenario;
   flex::Outcome outcome = flex::Outcome::kDidNotFinish;
-  bool completed = false;
+  bool completed() const { return outcome == flex::Outcome::kCompleted; }
   double on_s = 0.0;
   double off_s = 0.0;
   double total_s = 0.0;
@@ -62,19 +63,38 @@ struct ScenarioMatrix {
 struct SweepOptions {
   std::uint64_t seed = 0xb0a710ad;  // model weights + input (bench parity)
   bool verbose = false;             // one progress line per cell to stderr
+  // Worker threads for the sweep. Every cell runs on its own Device +
+  // supply with a per-cell derived scramble seed, so the matrix — and the
+  // bytes of SCENARIOS.json — is identical for any job count; only
+  // wall-clock changes. Values < 1 are clamped to 1.
+  int jobs = 1;
 };
 
 // Runtime keys, in sweep order: base and sonic/tails execute the dense
-// twin, ace and flex the RAD-compressed deployment model.
+// twin, ace and flex the RAD-compressed deployment model. Keys, model
+// variants, and the runtime/policy factories all come from ONE static
+// table, so adding a runtime cannot desynchronize the sweep, the fuzzer,
+// and the fleet harness.
 const std::vector<std::string>& all_runtime_keys();
 
 // Runtime factory for those keys (the one name-to-runtime mapping, also
 // used by the crash-consistency fuzzer); throws on an unknown key.
 std::unique_ptr<flex::InferenceRuntime> make_runtime(const std::string& key);
 
-// Runs every (runtime x task x scenario) combination. Unknown runtime
-// keys throw; a scenario whose harvest spec fails to parse throws before
-// any cell runs (fail fast, not after an hour of sweeping).
+// Policy factory for the same keys — for callers that drive the
+// step-based flex::IntermittentExecutor directly (the fleet harness).
+std::unique_ptr<flex::RuntimePolicy> make_policy(const std::string& key);
+
+// Whether a runtime key executes the RAD-compressed deployment model
+// (ace/flex) or the dense twin (base/sonic/tails).
+bool runtime_uses_compressed_model(const std::string& key);
+
+// Runs every (runtime x task x scenario) combination, with
+// SweepOptions::jobs worker threads (cells are independent: shared state
+// is immutable models/inputs/sources). Cell order is deterministic and
+// job-count independent. Unknown runtime keys throw; a scenario whose
+// harvest spec fails to parse throws before any cell runs (fail fast,
+// not after an hour of sweeping).
 ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
                           const std::vector<models::Task>& tasks,
                           const std::vector<ScenarioSpec>& scenarios,

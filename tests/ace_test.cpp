@@ -52,7 +52,7 @@ void expect_bit_exact(const quant::QuantModel& qm, const nn::Tensor& x,
   flex::RunOptions ropts;
   ropts.scaling = scaling;
   const auto st = rt->infer(dev, cm, qin, ropts);
-  ASSERT_TRUE(st.completed);
+  ASSERT_TRUE(st.completed());
   ASSERT_EQ(st.output.size(), ref.size());
   for (std::size_t i = 0; i < ref.size(); ++i) {
     EXPECT_EQ(st.output[i], ref[i]) << "output word " << i;

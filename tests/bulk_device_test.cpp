@@ -212,7 +212,7 @@ TEST(BulkAccess, FullModelBitExactAndCostIdentical) {
     const auto cm = ace::compile(qm, d);
     auto rt = flex::make_ace_runtime();
     auto st = rt->infer(d, cm, qin, {});
-    EXPECT_TRUE(st.completed);
+    EXPECT_TRUE(st.completed());
     return std::tuple<std::vector<q15_t>, double, double>(
         st.output, d.trace().total_cycles(), d.trace().total_energy());
   };

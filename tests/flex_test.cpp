@@ -115,11 +115,11 @@ TEST_P(IntermittentProperty, OutputBitExactUnderFailures) {
   auto rt = make_runtime(sc.runtime);
 
   const RunStats cont = run_continuous(*rt, qm, input);
-  ASSERT_TRUE(cont.completed);
+  ASSERT_TRUE(cont.completed());
   ASSERT_EQ(cont.reboots, 0);
 
   const RunStats inter = run_intermittent(*rt, qm, input, sc.cap_f, sc.harvest_w);
-  ASSERT_TRUE(inter.completed) << sc.runtime;
+  ASSERT_TRUE(inter.completed()) << sc.runtime;
   EXPECT_GT(inter.reboots, 0) << "scenario did not produce any power failure";
   EXPECT_EQ(inter.output, cont.output) << sc.runtime << " diverged under failures";
   EXPECT_GT(inter.off_seconds, 0.0);
@@ -166,7 +166,7 @@ TEST(Flex, UnwarnedFailureStillCorrect) {
   opts.flex_v_warn = 2.2001;  // essentially no margin
   const auto cont = run_continuous(*rt, qm, input, opts);
   const auto inter = run_intermittent(*rt, qm, input, 0.68e-6, 1.0e-3, opts);
-  ASSERT_TRUE(inter.completed);
+  ASSERT_TRUE(inter.completed());
   EXPECT_GT(inter.reboots, 0);
   EXPECT_EQ(inter.output, cont.output);
 }
@@ -183,7 +183,7 @@ TEST(Flex, EagerWarningStillCorrect) {
   opts.flex_v_warn = 3.5;
   const auto cont = run_continuous(*rt, qm, input, opts);
   const auto inter = run_intermittent(*rt, qm, input, 0.68e-6, 1.0e-3, opts);
-  ASSERT_TRUE(inter.completed);
+  ASSERT_TRUE(inter.completed());
   EXPECT_GT(inter.checkpoints, 0);
   EXPECT_EQ(inter.output, cont.output);
 }
@@ -204,7 +204,7 @@ TEST(Flex, CheckpointCostWithinBudget) {
 
   auto rt = make_flex_runtime();
   const auto st = rt->infer(dev, cm, input);
-  ASSERT_TRUE(st.completed);
+  ASSERT_TRUE(st.completed());
   ASSERT_GT(st.checkpoints, 0);
   EXPECT_LE(st.checkpoint_energy_j / static_cast<double>(st.checkpoints), budget * 1.05);
   // And the paper's absolute bound: each checkpoint/restore <= 0.033 mJ.
@@ -221,8 +221,8 @@ TEST(Flex, OnDemandBeatsTailsOnSteadyCommits) {
   auto flex = make_flex_runtime();
   const auto t = run_intermittent(*tails, qm, input, 1.0e-6, 1.0e-3);
   const auto f = run_intermittent(*flex, qm, input, 1.0e-6, 1.0e-3);
-  ASSERT_TRUE(t.completed);
-  ASSERT_TRUE(f.completed);
+  ASSERT_TRUE(t.completed());
+  ASSERT_TRUE(f.completed());
   EXPECT_GT(t.progress_commits, f.checkpoints + f.reboots);
 }
 
@@ -244,7 +244,7 @@ TEST(Flex, FasterThanSonicAndTailsOnSameModel) {
   const auto s = run_intermittent(*sonic, qdense, input, 1.0e-6, 2.0e-3);
   const auto t = run_intermittent(*tails, qdense, input, 1.0e-6, 2.0e-3);
   const auto f = run_intermittent(*flex, qdense, input, 1.0e-6, 2.0e-3);
-  ASSERT_TRUE(s.completed && t.completed && f.completed);
+  ASSERT_TRUE(s.completed() && t.completed() && f.completed());
   // At this miniature scale FLEX and TAILS are within noise of each other
   // (TAILS' steady commits are only a handful of words); SONIC's
   // element-wise CPU execution is decisively slower. The paper-scale
@@ -264,7 +264,7 @@ TEST(Base, CannotCompleteUnderSmallCapacitor) {
   RunOptions opts;
   opts.max_reboots = 3000;
   const auto st = run_intermittent(*rt, qm, input, 1.0e-6, 0.5e-3, opts);
-  EXPECT_FALSE(st.completed);
+  EXPECT_FALSE(st.completed());
   EXPECT_GT(st.reboots, 0);
 }
 
@@ -275,7 +275,7 @@ TEST(Base, CompletesWhenBurstIsBigEnough) {
   auto rt = make_ace_runtime();
   // A large capacitor funds the whole inference in one burst.
   const auto st = run_intermittent(*rt, qm, input, 1.0e-3, 1.0e-3);
-  EXPECT_TRUE(st.completed);
+  EXPECT_TRUE(st.completed());
 }
 
 TEST(Sonic, ProgressCommitsAreFrequent) {
@@ -284,7 +284,7 @@ TEST(Sonic, ProgressCommitsAreFrequent) {
   const auto input = quant_input(qm, rng);
   auto rt = make_sonic_runtime();
   const auto st = run_continuous(*rt, qm, input);
-  ASSERT_TRUE(st.completed);
+  ASSERT_TRUE(st.completed());
   // Loop continuation: at least one commit per output element.
   EXPECT_GT(st.progress_commits, static_cast<long>(qm.layers.front().out_size()));
 }
@@ -307,7 +307,7 @@ TEST(Runtimes, StatsAreCoherent) {
   const auto input = quant_input(qm, rng);
   auto rt = make_flex_runtime();
   const auto st = run_intermittent(*rt, qm, input, 2.2e-6, 1.0e-3);
-  ASSERT_TRUE(st.completed);
+  ASSERT_TRUE(st.completed());
   EXPECT_GT(st.energy_j, 0.0);
   EXPECT_GT(st.on_seconds, 0.0);
   EXPECT_GE(st.units_executed, st.units_total);  // re-execution only adds

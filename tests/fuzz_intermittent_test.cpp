@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/ace/compiled_model.h"
+#include "core/flex/executor.h"
 #include "core/flex/runtime.h"
 #include "nn/bcm_dense.h"
 #include "nn/conv.h"
@@ -114,10 +115,17 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
     dev.attach_supply(&supply);
     const auto cm = ace::compile(qm, dev);
     const RunStats cont = rt->infer(dev, cm, input, opts);
-    ASSERT_TRUE(cont.completed);
+    ASSERT_TRUE(cont.completed());
     ASSERT_EQ(cont.reboots, 0);
     oracle = cont.output;
   }
+
+  // Every schedule runs twice: once through the classic one-call infer()
+  // and once through an explicit IntermittentExecutor start()/step()
+  // drain — the incremental path the fleet harness uses, with the run
+  // suspended between every slice. Both must match the continuous oracle
+  // bit for bit and each other on every stat.
+  auto policy = sim::make_policy(fc.runtime);
 
   long total_failures = 0;
   for (int i = 0; i < fc.schedules; ++i) {
@@ -128,13 +136,30 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
     const auto cm = ace::compile(qm, dev);
     const RunStats st = rt->infer(dev, cm, input, opts);
 
-    ASSERT_TRUE(st.completed) << fc.runtime << " seed " << seed;
+    ASSERT_TRUE(st.completed()) << fc.runtime << " seed " << seed;
     ASSERT_EQ(st.outcome, Outcome::kCompleted) << fc.runtime << " seed " << seed;
     ASSERT_EQ(st.output, oracle)
         << fc.runtime << " diverged from continuous power under schedule seed " << seed
         << " (" << supply.failures() << " injected failures)";
     EXPECT_EQ(st.reboots, supply.failures()) << fc.runtime << " seed " << seed;
     total_failures += supply.failures();
+
+    dev::Device dev2;
+    power::FailureScheduleSupply supply2(seed);
+    dev2.attach_supply(&supply2);
+    const auto cm2 = ace::compile(qm, dev2);
+    IntermittentExecutor ex(*policy);
+    ex.start(dev2, cm2, input, opts);
+    while (ex.step()) {
+    }
+    const RunStats& se = ex.stats();
+    ASSERT_EQ(se.output, oracle) << fc.runtime << " executor path, seed " << seed;
+    ASSERT_DOUBLE_EQ(se.on_seconds, st.on_seconds) << fc.runtime << " seed " << seed;
+    ASSERT_DOUBLE_EQ(se.energy_j, st.energy_j) << fc.runtime << " seed " << seed;
+    ASSERT_EQ(se.reboots, st.reboots) << fc.runtime << " seed " << seed;
+    ASSERT_EQ(se.checkpoints, st.checkpoints) << fc.runtime << " seed " << seed;
+    ASSERT_EQ(se.progress_commits, st.progress_commits) << fc.runtime << " seed " << seed;
+    ASSERT_EQ(se.units_executed, st.units_executed) << fc.runtime << " seed " << seed;
   }
 
   // The schedules must actually bite: on average multiple brown-outs per
@@ -200,7 +225,7 @@ TEST(FuzzIntermittent, StarvedScenarioSurfacesAsOutcome) {
   const auto cm = ace::compile(qm, dev);
   const RunStats st = rt->infer(dev, cm, input);
 
-  EXPECT_FALSE(st.completed);
+  EXPECT_FALSE(st.completed());
   EXPECT_EQ(st.outcome, Outcome::kStarved);
   EXPECT_TRUE(supply.starved());
   EXPECT_GT(st.off_seconds, 0.0);

@@ -59,7 +59,7 @@ TEST_F(FullStack, DeviceAgreesWithSoftwareExecutor) {
         quant::quantize_input(result_->qmodel, result_->data.test.x[static_cast<std::size_t>(i)]);
     const auto ref = quant::qforward(result_->qmodel, qin);
     const auto st = rt->infer(dev, cm, qin);
-    ASSERT_TRUE(st.completed);
+    ASSERT_TRUE(st.completed());
     EXPECT_EQ(st.output, ref);
   }
 }
@@ -74,7 +74,7 @@ TEST_F(FullStack, FlexCompletesUnderHarvestedPowerBitExact) {
   const auto cmc = ace::compile(result_->qmodel, dc);
   auto rt = flex::make_flex_runtime();
   const auto cont = rt->infer(dc, cmc, qin);
-  ASSERT_TRUE(cont.completed);
+  ASSERT_TRUE(cont.completed());
 
   // Harvested: the paper's 100 uF capacitor, square-wave source.
   dev::Device di;
@@ -87,7 +87,7 @@ TEST_F(FullStack, FlexCompletesUnderHarvestedPowerBitExact) {
   opts.flex_v_warn =
       power::warn_voltage_for(ccfg, flex::worst_checkpoint_energy(cmi, di.cost()) + 5e-6, 3.0);
   const auto inter = rt->infer(di, cmi, qin, opts);
-  ASSERT_TRUE(inter.completed);
+  ASSERT_TRUE(inter.completed());
   EXPECT_EQ(inter.output, cont.output);
 }
 
@@ -124,7 +124,7 @@ TEST_F(FullStack, CheckpointOverheadIsSmallFraction) {
   opts.flex_v_warn =
       power::warn_voltage_for(ccfg, flex::worst_checkpoint_energy(cm, di.cost()) + 5e-6, 3.0);
   const auto st = rt->infer(di, cm, qin, opts);
-  ASSERT_TRUE(st.completed);
+  ASSERT_TRUE(st.completed());
   // SSIV-A.5: total checkpoint overhead is ~1% of inference energy.
   EXPECT_LT(st.checkpoint_energy_j, 0.05 * st.energy_j);
 }

@@ -1,0 +1,102 @@
+// Fleet-simulation CLI: steps N independent intermittent devices
+// round-robin against time-offset views of one harvest environment and
+// writes FLEET.json (schema ehdnn-fleet-v1; see BENCHMARKS.md "Fleet").
+// Run from the repo root so the default trace path resolves:
+//
+//   ./build/fleet_runner --out FLEET.json               # 64-dev office RF
+//   ./build/fleet_runner --devices 256 --task har --runtime tails
+//   ./build/fleet_runner --source "rf:base=0.2e-3,burst=6e-3,rate=40,dur=4e-3"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "sim/fleet.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace ehdnn;
+
+models::Task parse_task(const std::string& name) {
+  if (name == "mnist") return models::Task::kMnist;
+  if (name == "har") return models::Task::kHar;
+  if (name == "okg") return models::Task::kOkg;
+  fail("fleet_runner: unknown task \"" + name + "\" (mnist|har|okg)");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fleet_runner [--out FILE] [--devices N] [--task mnist|har|okg]\n"
+               "         [--runtime base|ace|sonic|tails|flex] [--source SPEC]\n"
+               "         [--cap FARADS] [--max-off S] [--spread S] [--seed N] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "FLEET.json";
+  sim::FleetOptions opts;
+  opts.verbose = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fleet_runner: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--devices") {
+      opts.devices = std::atoi(next());
+      if (opts.devices < 1) {
+        std::fprintf(stderr, "fleet_runner: --devices needs a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--task") {
+      opts.task = parse_task(next());
+    } else if (arg == "--runtime") {
+      opts.runtime = next();
+    } else if (arg == "--source") {
+      opts.source = next();
+    } else if (arg == "--cap") {
+      opts.capacitance_f = std::atof(next());
+    } else if (arg == "--max-off") {
+      opts.max_off_s = std::atof(next());
+    } else if (arg == "--spread") {
+      opts.offset_spread_s = std::atof(next());
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--quiet") {
+      opts.verbose = false;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const sim::FleetReport r = sim::run_fleet(opts);
+
+    std::ofstream f(out_path);
+    if (!f.good()) {
+      std::fprintf(stderr, "fleet_runner: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    sim::write_fleet_json(f, r);
+    std::fprintf(stderr,
+                 "fleet_runner: %d devices -> %d completed (%.1f%%), %d dnf, %d starved; "
+                 "latency p50 %.4fs p90 %.4fs p99 %.4fs -> %s\n",
+                 opts.devices, r.completed_count, 100.0 * r.completion_rate, r.dnf_count,
+                 r.starved_count, r.latency_p50_s, r.latency_p90_s, r.latency_p99_s,
+                 out_path.c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fleet_runner: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

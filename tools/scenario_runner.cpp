@@ -6,6 +6,7 @@
 //   ./build/scenario_runner --out SCENARIOS.json
 //   ./build/scenario_runner --tasks mnist --runtimes ace,flex
 //       --scenario office-rf=trace:path=traces/rf_office.csv
+//   ./build/scenario_runner --jobs 4        # parallel sweep, same bytes
 //
 // With no --scenario arguments a built-in set is swept: continuous bench
 // power, the paper's constant-harvest regime, a square duty cycle, bursty
@@ -70,7 +71,7 @@ int usage() {
                "usage: scenario_runner [--out FILE] [--tasks mnist,har,okg]\n"
                "         [--runtimes base,ace,sonic,tails,flex]\n"
                "         [--scenario NAME=SPEC[;cap=F][;max_off=S][;reboots=N]]...\n"
-               "         [--no-traces] [--smoke] [--quiet]\n");
+               "         [--jobs N] [--no-traces] [--smoke] [--quiet]\n");
   return 2;
 }
 
@@ -104,6 +105,12 @@ int main(int argc, char** argv) {
       runtimes = split_csv(next());
     } else if (arg == "--scenario") {
       scenarios.push_back(sim::parse_scenario_arg(next()));
+    } else if (arg == "--jobs") {
+      opts.jobs = std::atoi(next());
+      if (opts.jobs < 1) {
+        std::fprintf(stderr, "scenario_runner: --jobs needs a positive integer\n");
+        return 2;
+      }
     } else if (arg == "--no-traces") {
       with_traces = false;
     } else if (arg == "--smoke") {
@@ -144,8 +151,8 @@ int main(int argc, char** argv) {
       bool flex_ok = false, ace_dnf = false;
       for (const auto& c : m.cells) {
         if (c.scenario != "square-10ms") continue;
-        if (c.runtime == "flex") flex_ok = c.completed;
-        if (c.runtime == "ace") ace_dnf = !c.completed;
+        if (c.runtime == "flex") flex_ok = c.completed();
+        if (c.runtime == "ace") ace_dnf = !c.completed();
       }
       if (!flex_ok || !ace_dnf) {
         std::fprintf(stderr, "scenario_runner: smoke expectations FAILED "
