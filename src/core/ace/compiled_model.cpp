@@ -128,12 +128,17 @@ void move_words(dev::Device& dev, dev::MemKind src_mem, dev::Addr src, dev::MemK
   dev.cpu_copy(src_mem, src, dst_mem, dst, words);
 }
 
-CompiledModel compile(const quant::QuantModel& qm, dev::Device& dev) {
+CompiledModel compile(const quant::QuantModel& qm, dev::Device& dev, bool co_resident) {
   CompiledModel cm;
   cm.model = qm;
 
+  // A co-resident compile places this image AFTER whatever is already in
+  // FRAM (the adaptive scheduler ships two model variants in one device
+  // image); otherwise the allocator resets and the image starts at the
+  // base. SRAM scratch plans always overlap — only one model executes
+  // per power cycle, and SRAM is scrambled at every reboot anyway.
   auto& fram = dev.fram();
-  fram.reset_allocator();
+  if (!co_resident) fram.reset_allocator();
 
   // Circular activation buffers (Fig. 5): two, each max(L_i) words.
   cm.act_words = qm.max_activation_words();

@@ -96,8 +96,13 @@ struct CompiledModel {
 };
 
 // Builds the layout and programs weights into FRAM (cost-free pokes —
-// flashing happens at deploy time, not inference time).
-CompiledModel compile(const quant::QuantModel& qm, dev::Device& dev);
+// flashing happens at deploy time, not inference time). `co_resident`
+// keeps any previously compiled image: the new one is placed after it, so
+// two model variants can ship in one device image (what the adaptive
+// scheduler's per-boot variant selection runs on). fram_words_used is
+// then the cumulative total.
+CompiledModel compile(const quant::QuantModel& qm, dev::Device& dev,
+                      bool co_resident = false);
 
 // Data-movement decision (SSIII-B "ACE selects the right kind of data
 // movement method"): DMA beats a CPU copy loop above a small size; the

@@ -19,7 +19,7 @@ void IntermittentExecutor::start(dev::Device& dev, const ace::CompiledModel& cm,
 
 void IntermittentExecutor::finish() {
   fill_stats(st_, *dev_, base_);
-  if (st_.completed()) st_.output = read_output(*dev_, *cm_);
+  if (st_.completed()) st_.output = read_output(*dev_, policy_->output_model(*cm_));
   done_ = true;
 }
 

@@ -91,6 +91,15 @@ class RuntimePolicy {
     (void)attempt_cycles;
     return true;
   }
+
+  // The compiled model whose output buffer holds the final result —
+  // `armed` (what start() was called with) for every fixed policy. The
+  // adaptive scheduler may finish a run on a co-resident model variant
+  // (e.g. the dense twin under a lean forecast) and redirects the
+  // executor's output read there.
+  virtual const ace::CompiledModel& output_model(const ace::CompiledModel& armed) const {
+    return armed;
+  }
 };
 
 // Owns the reboot/recover/starvation/stats loop shared by all runtimes

@@ -75,7 +75,14 @@ class PowerSupply {
   // Runtime-to-supply event channel (no-op for physical supplies).
   virtual void notify(SupplyEvent /*event*/) {}
 
-  // Elapsed supply-side time (on + off), seconds.
+  // Duty-cycle sleep: advance supply time to `t_s` (absolute seconds, as
+  // reported by now()) with the device idle — no load, harvest income
+  // still accrues. The scheduling layer (sched::JobQueue) parks a device
+  // here between a job's completion and the next job's release. No-op
+  // when t_s is in the past.
+  virtual void idle_until(double /*t_s*/) {}
+
+  // Elapsed supply-side time (on + off + idle), seconds.
   virtual double now() const = 0;
 };
 

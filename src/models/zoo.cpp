@@ -18,6 +18,13 @@ const char* task_name(Task t) {
   return "?";
 }
 
+Task parse_task(const std::string& name) {
+  if (name == "mnist") return Task::kMnist;
+  if (name == "har") return Task::kHar;
+  if (name == "okg") return Task::kOkg;
+  fail("unknown task \"" + name + "\" (mnist|har|okg)");
+}
+
 ModelInfo model_info(Task t) {
   switch (t) {
     case Task::kMnist:

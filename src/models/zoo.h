@@ -24,6 +24,11 @@ enum class Task { kMnist, kHar, kOkg };
 
 const char* task_name(Task t);
 
+// CLI/config-facing task keys ("mnist"|"har"|"okg"); throws ehdnn::Error
+// on anything else. Shared by scenario_runner, fleet_runner, and the
+// fleet config parser so the accepted names cannot drift.
+Task parse_task(const std::string& name);
+
 struct ModelInfo {
   Task task;
   std::vector<std::size_t> input_shape;

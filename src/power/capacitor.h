@@ -80,11 +80,26 @@ class CapacitorSupply : public dev::PowerSupply {
 
   bool starved() const override { return starved_; }
 
+  // Duty-cycle sleep: income keeps integrating (clamped at v_max) while
+  // the device draws nothing. Unlike recharge_to_on this is not an
+  // outage — on/off/starved states are untouched and no off-time accrues.
+  // The final step is partial so the device wakes exactly at t_s (job
+  // release instants stay exact in the fleet's timing records).
+  void idle_until(double t_s) override {
+    while (now_ < t_s) {
+      const double dt = std::min(cfg_.recharge_step_s, t_s - now_);
+      energy_ = std::min(energy_ + source_.power_at(now_) * dt, energy_at(cfg_.v_max));
+      now_ += dt;
+      idle_time_ += dt;
+    }
+  }
+
   double now() const override { return now_; }
 
   long failures() const { return failures_; }
   double on_time() const { return on_time_; }
   double off_time() const { return off_time_; }
+  double idle_time() const { return idle_time_; }
 
   // Usable per-burst energy between the thresholds.
   double burst_energy() const { return energy_at(cfg_.v_on) - energy_at(cfg_.v_off); }
@@ -103,6 +118,7 @@ class CapacitorSupply : public dev::PowerSupply {
   long failures_ = 0;
   double on_time_ = 0.0;
   double off_time_ = 0.0;
+  double idle_time_ = 0.0;
 };
 
 }  // namespace ehdnn::power

@@ -3,6 +3,8 @@
 // the intermittent outputs must match bit-for-bit.
 #pragma once
 
+#include <algorithm>
+
 #include "device/power_interface.h"
 
 namespace ehdnn::power {
@@ -19,6 +21,7 @@ class ContinuousPower : public dev::PowerSupply {
   double voltage() const override { return volts_; }
   bool on() const override { return true; }
   double recharge_to_on() override { return 0.0; }
+  void idle_until(double t_s) override { now_ = std::max(now_, t_s); }
   double now() const override { return now_; }
 
   double energy_drawn() const { return energy_drawn_; }

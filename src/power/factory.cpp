@@ -1,113 +1,92 @@
 #include "power/factory.h"
 
 #include <cstdlib>
-#include <map>
-#include <vector>
 
 #include "power/trace.h"
 #include "util/check.h"
-#include "util/parse.h"
+#include "util/spec.h"
 
 namespace ehdnn::power {
 
 namespace {
 
-// Parsed `key=value` pairs with consumption tracking, so a typo'd key is
-// an error instead of a silently applied default.
-class SpecArgs {
- public:
-  SpecArgs(const std::string& spec, const std::string& args) : spec_(spec) {
-    std::size_t pos = 0;
-    while (pos < args.size()) {
-      std::size_t comma = args.find(',', pos);
-      if (comma == std::string::npos) comma = args.size();
-      const std::string item = args.substr(pos, comma - pos);
-      pos = comma + 1;
-      if (item.empty()) continue;
-      const std::size_t eq = item.find('=');
-      check(eq != std::string::npos && eq > 0,
-            "harvest spec \"" + spec_ + "\": expected key=value, got \"" + item + "\"");
-      kv_[item.substr(0, eq)] = item.substr(eq + 1);
-    }
-  }
+std::unique_ptr<HarvestSource> make_const(const std::string&, SpecArgs& a) {
+  return std::make_unique<ConstantSource>(a.num("w", 1e-3));
+}
 
-  double num(const std::string& key, double fallback) {
-    const auto it = kv_.find(key);
-    if (it == kv_.end()) return fallback;
-    used_.push_back(key);
-    const auto v = parse_double(it->second);
-    check(v.has_value(),
-          "harvest spec \"" + spec_ + "\": bad number for " + key + ": \"" + it->second +
-              "\"");
-    return *v;
-  }
+std::unique_ptr<HarvestSource> make_square(const std::string&, SpecArgs& a) {
+  return std::make_unique<SquareSource>(a.num("hi", 4e-3), a.num("lo", 0.0),
+                                        a.num("period", 0.02), a.num("duty", 0.5));
+}
 
-  std::string str(const std::string& key, const std::string& fallback = "") {
-    const auto it = kv_.find(key);
-    if (it == kv_.end()) return fallback;
-    used_.push_back(key);
-    return it->second;
-  }
+std::unique_ptr<HarvestSource> make_sine(const std::string&, SpecArgs& a) {
+  return std::make_unique<SineSource>(a.num("mean", 2e-3), a.num("amp", 2e-3),
+                                      a.num("period", 0.02));
+}
 
-  // Call after construction: every provided key must have been consumed.
-  void finish() const {
-    for (const auto& [k, v] : kv_) {
-      bool used = false;
-      for (const auto& u : used_) used = used || u == k;
-      check(used, "harvest spec \"" + spec_ + "\": unknown key \"" + k + "\"");
-    }
-  }
+std::unique_ptr<HarvestSource> make_rf(const std::string&, SpecArgs& a) {
+  return std::make_unique<PoissonBurstSource>(
+      a.num("base", 0.2e-3), a.num("burst", 5e-3), a.num("rate", 30.0), a.num("dur", 5e-3),
+      static_cast<std::uint64_t>(a.num("seed", 1.0)), a.num("horizon", 10.0));
+}
 
- private:
-  std::string spec_;
-  std::map<std::string, std::string> kv_;
-  std::vector<std::string> used_;
+std::unique_ptr<HarvestSource> make_solar(const std::string&, SpecArgs& a) {
+  return std::make_unique<SolarDaySource>(a.num("peak", 5e-3), a.num("day", 1.0),
+                                          a.num("daylight", 0.5), a.num("floor", 0.0));
+}
+
+std::unique_ptr<HarvestSource> make_trace(const std::string& spec, SpecArgs& a) {
+  const std::string path = a.str("path");
+  check(!path.empty(), "harvest spec \"" + spec + "\": trace needs path=FILE");
+  const std::string interp_s = a.str("interp", "linear");
+  TraceInterp interp;
+  if (interp_s == "linear") {
+    interp = TraceInterp::kLinear;
+  } else if (interp_s == "zoh") {
+    interp = TraceInterp::kZeroOrderHold;
+  } else {
+    fail("harvest spec \"" + spec + "\": interp must be linear or zoh");
+  }
+  return std::make_unique<TraceHarvestSource>(load_trace_csv(path), interp,
+                                              a.num("loop", 1.0) != 0.0, a.num("scale", 1.0));
+}
+
+// THE source-kind table: the factory dispatch and harvest_source_kinds()
+// (what `--list-sources` prints) both derive from it, so the CLI listing
+// cannot drift from what make_harvest_source accepts.
+struct KindEntry {
+  const char* kind;
+  std::unique_ptr<HarvestSource> (*make)(const std::string& spec, SpecArgs& a);
+};
+
+constexpr KindEntry kKindTable[] = {
+    {"const", make_const}, {"square", make_square}, {"sine", make_sine},
+    {"rf", make_rf},       {"solar", make_solar},   {"trace", make_trace},
 };
 
 }  // namespace
+
+const std::vector<std::string>& harvest_source_kinds() {
+  static const std::vector<std::string> kinds = [] {
+    std::vector<std::string> v;
+    for (const auto& k : kKindTable) v.emplace_back(k.kind);
+    return v;
+  }();
+  return kinds;
+}
 
 std::unique_ptr<HarvestSource> make_harvest_source(const std::string& spec) {
   const std::size_t colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
   SpecArgs a(spec, colon == std::string::npos ? "" : spec.substr(colon + 1));
-
-  std::unique_ptr<HarvestSource> src;
-  if (kind == "const") {
-    src = std::make_unique<ConstantSource>(a.num("w", 1e-3));
-  } else if (kind == "square") {
-    src = std::make_unique<SquareSource>(a.num("hi", 4e-3), a.num("lo", 0.0),
-                                         a.num("period", 0.02), a.num("duty", 0.5));
-  } else if (kind == "sine") {
-    src = std::make_unique<SineSource>(a.num("mean", 2e-3), a.num("amp", 2e-3),
-                                       a.num("period", 0.02));
-  } else if (kind == "rf") {
-    src = std::make_unique<PoissonBurstSource>(
-        a.num("base", 0.2e-3), a.num("burst", 5e-3), a.num("rate", 30.0),
-        a.num("dur", 5e-3), static_cast<std::uint64_t>(a.num("seed", 1.0)),
-        a.num("horizon", 10.0));
-  } else if (kind == "solar") {
-    src = std::make_unique<SolarDaySource>(a.num("peak", 5e-3), a.num("day", 1.0),
-                                           a.num("daylight", 0.5), a.num("floor", 0.0));
-  } else if (kind == "trace") {
-    const std::string path = a.str("path");
-    check(!path.empty(), "harvest spec \"" + spec + "\": trace needs path=FILE");
-    const std::string interp_s = a.str("interp", "linear");
-    TraceInterp interp;
-    if (interp_s == "linear") {
-      interp = TraceInterp::kLinear;
-    } else if (interp_s == "zoh") {
-      interp = TraceInterp::kZeroOrderHold;
-    } else {
-      fail("harvest spec \"" + spec + "\": interp must be linear or zoh");
+  for (const auto& k : kKindTable) {
+    if (kind == k.kind) {
+      auto src = k.make(spec, a);
+      a.finish();
+      return src;
     }
-    src = std::make_unique<TraceHarvestSource>(load_trace_csv(path), interp,
-                                               a.num("loop", 1.0) != 0.0,
-                                               a.num("scale", 1.0));
-  } else {
-    fail("harvest spec \"" + spec + "\": unknown kind \"" + kind + "\"");
   }
-  a.finish();
-  return src;
+  fail("harvest spec \"" + spec + "\": unknown kind \"" + kind + "\"");
 }
 
 }  // namespace ehdnn::power

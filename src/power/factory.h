@@ -20,11 +20,16 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "power/harvest.h"
 
 namespace ehdnn::power {
 
 std::unique_ptr<HarvestSource> make_harvest_source(const std::string& spec);
+
+// The spec kinds the factory accepts, from the same static kind table the
+// dispatch uses (what `--list-sources` prints; cannot drift).
+const std::vector<std::string>& harvest_source_kinds();
 
 }  // namespace ehdnn::power

@@ -26,6 +26,7 @@
 // oracle (the contract in src/core/flex/runtime.h).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -75,6 +76,8 @@ class FailureScheduleSupply : public dev::PowerSupply {
     plan_cycle();
     return cfg_.off_time_s;
   }
+
+  void idle_until(double t_s) override { now_ = std::max(now_, t_s); }
 
   double now() const override { return now_; }
 

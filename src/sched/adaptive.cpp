@@ -1,0 +1,308 @@
+#include "sched/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/ace/compiled_model.h"
+#include "core/flex/runtime.h"
+#include "util/check.h"
+#include "util/spec.h"
+
+namespace ehdnn::sched {
+
+namespace {
+
+// One rung of the ladder. `persistent` marks tiers whose progress
+// survives reboots (their FRAM cursors/checkpoints); switching away from
+// one abandons banked work, so the scheduler only does it when the tier
+// has stopped progressing.
+struct Tier {
+  const char* key;
+  bool dense_variant;
+  bool persistent;
+  std::unique_ptr<flex::RuntimePolicy> policy;
+};
+
+}  // namespace
+
+struct AdaptivePolicy::Impl {
+  DeploymentImage image;
+  bool provisioned = false;
+
+  std::vector<Tier> tiers;  // richest (index 0) to leanest
+  int base_i = -1, ace_i = -1, flex_i = -1, sonic_i = -1;
+
+  std::unique_ptr<HarvestForecaster> fc;
+
+  // Cached per device image: worst-case FLEX checkpoint energy, the
+  // quantity the burst budget is compared against.
+  double flex_ckpt_j = 0.0;
+  bool ready = false;
+
+  // Per-run scheduling state.
+  int cur = -1;
+  bool inner_fresh_pending = false;  // a tier's fresh boot tore mid-write
+  double last_off_s = 0.0;
+  long last_units = 0;
+  long last_ckpts = 0;
+  int no_progress = 0;
+  bool force_demote = false;
+  long switches = 0;
+
+  void rebuild() {
+    tiers.clear();
+    base_i = ace_i = flex_i = sonic_i = -1;
+    const bool dense = provisioned && image.dense != nullptr;
+    if (dense) {
+      base_i = static_cast<int>(tiers.size());
+      tiers.push_back({"base", true, false, flex::make_ace_policy()});
+    }
+    ace_i = static_cast<int>(tiers.size());
+    tiers.push_back({"ace", false, false, flex::make_ace_policy()});
+    flex_i = static_cast<int>(tiers.size());
+    tiers.push_back({"flex", false, true, flex::make_flex_policy()});
+    if (dense) {
+      sonic_i = static_cast<int>(tiers.size());
+      tiers.push_back({"sonic", true, true, flex::make_sonic_policy()});
+    }
+    cur = -1;
+    inner_fresh_pending = false;
+    ready = false;
+  }
+
+  const ace::CompiledModel& resolve_cm(const flex::StepContext& ctx, const Tier& t) const {
+    if (!provisioned) return ctx.cm;
+    return *(t.dense_variant ? image.dense : image.compressed);
+  }
+
+  void ensure_ready(flex::StepContext& ctx) {
+    if (ready) return;
+    for (const auto& t : tiers) {
+      check(resolve_cm(ctx, t).model.layers.front().in_size() == ctx.input.size(),
+            "adaptive: co-resident model variants must share the input size");
+    }
+    flex_ckpt_j =
+        flex::worst_checkpoint_energy(resolve_cm(ctx, tiers[static_cast<std::size_t>(flex_i)]),
+                                      ctx.dev.cost());
+    ready = true;
+  }
+
+  int decide_fresh(const AdaptiveSpec& spec) const {
+    // Static energy geometry first: a burst that cannot fund FLEX's
+    // worst-case checkpoint (with margin) thrashes every progress-
+    // preserving trick except fine-grained loop continuation.
+    if (sonic_i >= 0 && image.burst_energy_j < spec.ckpt_margin * flex_ckpt_j) return sonic_i;
+    const double w = fc->forecast_w();
+    if (base_i >= 0 && w >= spec.full_w) return base_i;
+    if (w >= spec.rich_w) return ace_i;
+    return flex_i;
+  }
+
+  // Activates tiers[cur] with a fresh inner boot. The fresh flag is
+  // sticky across a brown-out mid-boot (inner_fresh_pending), mirroring
+  // the executor's own fresh_ handling: a torn fresh boot is retried
+  // fresh, never resumed, so a previous job's stale cursors can never
+  // leak into this one.
+  void activate(flex::StepContext& ctx) {
+    inner_fresh_pending = true;
+    Tier& t = tiers[static_cast<std::size_t>(cur)];
+    const ace::CompiledModel& cm = resolve_cm(ctx, t);
+    ctx.st.units_total = t.policy->units_total(cm);
+    flex::StepContext sub{ctx.dev, cm, ctx.input, ctx.opts, ctx.st};
+    t.policy->on_boot(sub, true);
+    inner_fresh_pending = false;
+  }
+};
+
+AdaptivePolicy::AdaptivePolicy(AdaptiveSpec spec)
+    : impl_(std::make_unique<Impl>()), spec_(std::move(spec)) {
+  check(spec_.rich_w >= 0.0 && spec_.ckpt_margin >= 0.0 && spec_.demote_boots >= 1,
+        "adaptive: bad spec");
+  impl_->fc = make_forecaster(spec_.forecaster);  // throws on a bad spec
+  impl_->rebuild();
+}
+
+AdaptivePolicy::~AdaptivePolicy() = default;
+
+void AdaptivePolicy::provision(const DeploymentImage& image) {
+  check(image.compressed != nullptr, "adaptive: provision needs the compressed image");
+  impl_->image = image;
+  impl_->provisioned = true;
+  impl_->rebuild();
+}
+
+void AdaptivePolicy::on_boot(flex::StepContext& ctx, bool fresh) {
+  Impl& s = *impl_;
+  s.ensure_ready(ctx);
+  if (fresh) {
+    s.last_off_s = ctx.st.off_seconds;
+    s.last_units = ctx.st.units_executed;
+    s.last_ckpts = ctx.st.checkpoints;
+    s.no_progress = 0;
+    s.force_demote = false;
+    s.cur = s.decide_fresh(spec_);
+    s.activate(ctx);
+    return;
+  }
+
+  // A power cycle died. The recharge gap is the scheduler's harvest
+  // sensor: refilling the burst energy took `gap` seconds, so the
+  // harvester averaged burst/gap watts — one forecaster sample.
+  const double gap = ctx.st.off_seconds - s.last_off_s;
+  s.last_off_s = ctx.st.off_seconds;
+  if (gap > 0.0 && std::isfinite(s.image.burst_energy_j)) {
+    s.fc->record(s.image.burst_energy_j / gap);
+  }
+
+  // A persistent tier made progress if it banked anything at all this
+  // cycle: a unit commit, or a completed checkpoint (FLEX's BCM tiers
+  // advance by sub-unit stages that only checkpoints witness; a
+  // checkpoint that tore mid-write was never counted).
+  const Tier& cur = s.tiers[static_cast<std::size_t>(s.cur)];
+  const bool progressed =
+      cur.persistent && (ctx.st.units_executed > s.last_units ||
+                         ctx.st.checkpoints > s.last_ckpts);
+  s.last_units = ctx.st.units_executed;
+  s.last_ckpts = ctx.st.checkpoints;
+  if (progressed) {
+    s.no_progress = 0;
+  } else {
+    ++s.no_progress;
+  }
+
+  int next = s.cur;
+  if (s.force_demote || s.no_progress >= spec_.demote_boots) {
+    // The tier is stuck (its own livelock detector fired, or it has made
+    // no forward progress for demote_boots cycles): one rung leaner.
+    next = std::min(s.cur + 1, static_cast<int>(s.tiers.size()) - 1);
+    s.force_demote = false;
+  } else if (!cur.persistent) {
+    // Restart-from-scratch tiers bank nothing, so every boot is free to
+    // re-decide from the live forecast (this is where a mis-forecast
+    // rich start degrades to FLEX).
+    next = s.decide_fresh(spec_);
+  }
+
+  if (next != s.cur) {
+    ++s.switches;
+    s.no_progress = 0;
+    s.cur = next;
+    s.activate(ctx);  // tier progress formats are incompatible: restart
+  } else if (s.inner_fresh_pending) {
+    s.activate(ctx);  // the switch boot itself browned out: retry fresh
+  } else {
+    Tier& t = s.tiers[static_cast<std::size_t>(s.cur)];
+    flex::StepContext sub{ctx.dev, s.resolve_cm(ctx, t), ctx.input, ctx.opts, ctx.st};
+    t.policy->on_boot(sub, false);
+  }
+}
+
+bool AdaptivePolicy::step(flex::StepContext& ctx) {
+  Impl& s = *impl_;
+  Tier& t = s.tiers[static_cast<std::size_t>(s.cur)];
+  flex::StepContext sub{ctx.dev, s.resolve_cm(ctx, t), ctx.input, ctx.opts, ctx.st};
+  return t.policy->step(sub);
+}
+
+bool AdaptivePolicy::retry_after_failure(flex::StepContext& ctx, double attempt_cycles) {
+  Impl& s = *impl_;
+  Tier& t = s.tiers[static_cast<std::size_t>(s.cur)];
+  flex::StepContext sub{ctx.dev, s.resolve_cm(ctx, t), ctx.input, ctx.opts, ctx.st};
+  if (t.policy->retry_after_failure(sub, attempt_cycles)) return true;
+  // The tier gave up (ACE's livelock detector). With a leaner rung left
+  // the run is not dead — demote at the next boot instead of DNF.
+  if (s.cur + 1 < static_cast<int>(s.tiers.size())) {
+    s.force_demote = true;
+    return true;
+  }
+  return false;
+}
+
+const ace::CompiledModel& AdaptivePolicy::output_model(const ace::CompiledModel& armed) const {
+  const Impl& s = *impl_;
+  if (s.cur < 0 || !s.provisioned) return armed;
+  const Tier& t = s.tiers[static_cast<std::size_t>(s.cur)];
+  return *(t.dense_variant ? s.image.dense : s.image.compressed);
+}
+
+std::string AdaptivePolicy::current_runtime() const {
+  const Impl& s = *impl_;
+  return s.cur < 0 ? "" : s.tiers[static_cast<std::size_t>(s.cur)].key;
+}
+
+bool AdaptivePolicy::on_dense_model() const {
+  const Impl& s = *impl_;
+  return s.cur >= 0 && s.provisioned &&
+         s.tiers[static_cast<std::size_t>(s.cur)].dense_variant;
+}
+
+long AdaptivePolicy::tier_switches() const { return impl_->switches; }
+
+const HarvestForecaster& AdaptivePolicy::forecaster() const { return *impl_->fc; }
+
+std::unique_ptr<flex::RuntimePolicy> make_adaptive_policy(AdaptiveSpec spec) {
+  return std::make_unique<AdaptivePolicy>(std::move(spec));
+}
+
+bool provision_adaptive(flex::RuntimePolicy& policy, const DeploymentImage& image) {
+  auto* ap = dynamic_cast<AdaptivePolicy*>(&policy);
+  if (ap == nullptr) return false;
+  ap->provision(image);
+  return true;
+}
+
+double provision_deployment(flex::RuntimePolicy& policy, const dev::CostModel& cost,
+                            const ace::CompiledModel& primary,
+                            const ace::CompiledModel* dense, double burst_energy_j) {
+  double worst_ck = flex::worst_checkpoint_energy(primary, cost);
+  if (dense != nullptr) {
+    worst_ck = std::max(worst_ck, flex::worst_checkpoint_energy(*dense, cost));
+  }
+  DeploymentImage img;
+  img.compressed = &primary;
+  img.dense = dense;
+  img.burst_energy_j = burst_energy_j;
+  provision_adaptive(policy, img);
+  return worst_ck;
+}
+
+const AdaptivePolicy* as_adaptive(const flex::RuntimePolicy* policy) {
+  return dynamic_cast<const AdaptivePolicy*>(policy);
+}
+
+AdaptiveSpec parse_adaptive_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  check(spec.substr(0, colon) == "adaptive",
+        "adaptive spec \"" + spec + "\": expected adaptive[:key=value,...]");
+  SpecArgs a(spec, colon == std::string::npos ? "" : spec.substr(colon + 1));
+  AdaptiveSpec s;
+
+  // Forecaster sub-spec assembled from flat keys (fc picks the kind;
+  // prior/alpha/n/w forward verbatim so the forecaster factory validates
+  // them in one place).
+  std::string fspec = a.str("fc", "ema");
+  std::string fargs;
+  for (const char* key : {"prior", "alpha", "n", "w"}) {
+    const std::string v = a.str(key, "");
+    if (v.empty()) continue;
+    fargs += (fargs.empty() ? "" : ",") + std::string(key) + "=" + v;
+  }
+  if (!fargs.empty()) fspec += ":" + fargs;
+  s.forecaster = fspec;
+
+  s.rich_w = a.num("rich", s.rich_w);
+  s.full_w = a.num("full", s.full_w);
+  s.ckpt_margin = a.num("ckpt_margin", s.ckpt_margin);
+  // Range-checked before the cast: a double outside int's range is
+  // undefined behavior at the conversion, not a garbage value.
+  const double demote = a.num("demote", s.demote_boots);
+  check(demote >= 1.0 && demote <= 1e6 && demote == std::floor(demote),
+        "adaptive spec \"" + spec + "\": demote must be an integer in [1, 1e6]");
+  s.demote_boots = static_cast<int>(demote);
+  a.finish();
+  make_forecaster(s.forecaster);  // validate eagerly (throws on bad kinds/values)
+  return s;
+}
+
+}  // namespace ehdnn::sched

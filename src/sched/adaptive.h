@@ -1,0 +1,134 @@
+// Per-boot policy selection: the paper's offline FLEX-vs-fixed choice
+// made *online*, by a scheduler that re-picks the execution strategy (and
+// the model variant it runs) at every power cycle from the harvest
+// forecast and the progress already banked.
+//
+// AdaptivePolicy is itself a flex::RuntimePolicy, so it rides the shared
+// IntermittentExecutor unchanged: the executor sees one policy; inside,
+// a ladder of inner tiers — richest to leanest —
+//
+//     base  (dense twin,  ACE kernels, no checkpointing)
+//     ace   (compressed,  ACE kernels, no checkpointing)
+//     flex  (compressed,  on-demand checkpointing)
+//     sonic (dense twin,  fine-grained loop continuation)
+//
+// is selected per boot. Fresh boots pick from the forecast (and from the
+// static burst-vs-checkpoint budget: a capacitor too small to fund a FLEX
+// checkpoint is a SONIC device, no forecast needed). After a failure the
+// rules are demote-biased: checkpoint formats are tier-private, so
+// switching restarts the inference — losing nothing on the restart-from-
+// scratch tiers, and only ever abandoning a persistent tier when it has
+// stopped making forward progress. A tier switch is therefore always a
+// *boot* event, which is exactly where the crash-consistency fuzzer aims
+// its brown-outs.
+//
+// Correctness contract: whichever tier completes, the output is bit-exact
+// against that tier's model variant under continuous power (each inner
+// policy already guarantees this; the scheduler only ever switches at
+// boot boundaries with a fresh restart, so it cannot mix two tiers'
+// progress). tests/fuzz_intermittent_test.cpp enforces it.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/flex/executor.h"
+#include "sched/forecast.h"
+
+namespace ehdnn::sched {
+
+struct AdaptiveSpec {
+  // Forecaster spec (sched::make_forecaster grammar).
+  std::string forecaster = "ema:prior=1.2e-3,alpha=0.5";
+  // Forecast income at/above which a fresh boot promotes to the ace tier
+  // (compressed model, no checkpoint overhead).
+  double rich_w = 3e-3;
+  // Forecast income at/above which a fresh boot runs the full (dense)
+  // model on ACE kernels — the paper's BASE. Default: disabled.
+  double full_w = std::numeric_limits<double>::infinity();
+  // A burst below ckpt_margin x worst-case FLEX checkpoint energy cannot
+  // afford on-demand checkpointing: the device is statically a SONIC
+  // device (when the dense twin is provisioned). Conservative default:
+  // FLEX's degraded mode tolerates bursts only a little above one
+  // checkpoint, and SONIC on the dense twin is much slower — demotion
+  // must wait until FLEX genuinely cannot land its state.
+  double ckpt_margin = 2.0;
+  // Consecutive power cycles without forward progress before the
+  // scheduler demotes one rung down the ladder.
+  int demote_boots = 2;
+};
+
+// Parses `adaptive[:key=value,...]` with keys fc (ema|window|const),
+// prior, alpha, n, w (forwarded to the forecaster spec), rich, full,
+// ckpt_margin, demote. Throws ehdnn::Error on malformed input.
+AdaptiveSpec parse_adaptive_spec(const std::string& spec);
+
+// What the deployment ships for the scheduler to choose between. Both
+// compiled models must live on the SAME device (ace::compile co_resident)
+// and share the input size. `dense` may be null — the ladder then
+// collapses to {ace, flex} over the compressed image. burst_energy_j is
+// the capacitor's usable per-burst energy (power::CapacitorSupply::
+// burst_energy()); infinity means "unknown/unbounded" (bench power).
+struct DeploymentImage {
+  const ace::CompiledModel* compressed = nullptr;
+  const ace::CompiledModel* dense = nullptr;
+  double burst_energy_j = std::numeric_limits<double>::infinity();
+};
+
+class AdaptivePolicy : public flex::RuntimePolicy {
+ public:
+  explicit AdaptivePolicy(AdaptiveSpec spec);
+  ~AdaptivePolicy() override;
+
+  // Binds the co-resident model variants and the energy budget. Without
+  // provisioning the policy still works (tiers {ace, flex} over whatever
+  // model the executor was armed with) — that is what the generic
+  // runtime table hands out. May be called again (new device image); the
+  // forecaster's learned state survives, the ladder is rebuilt.
+  void provision(const DeploymentImage& image);
+
+  std::string name() const override { return "ADAPTIVE"; }
+  void on_boot(flex::StepContext& ctx, bool fresh) override;
+  bool step(flex::StepContext& ctx) override;
+  bool retry_after_failure(flex::StepContext& ctx, double attempt_cycles) override;
+  const ace::CompiledModel& output_model(const ace::CompiledModel& armed) const override;
+
+  // --- scheduling diagnostics (read by the fleet's job queue) ----------
+  // Tier key currently selected: "base", "ace", "flex" or "sonic" ("" before
+  // the first boot).
+  std::string current_runtime() const;
+  // Whether the current tier executes the dense twin.
+  bool on_dense_model() const;
+  // Mid-run tier switches since construction (monotone across jobs).
+  long tier_switches() const;
+  // The forecaster (samples persist across jobs — that is the feature).
+  const HarvestForecaster& forecaster() const;
+  const AdaptiveSpec& spec() const { return spec_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  AdaptiveSpec spec_;
+};
+
+std::unique_ptr<flex::RuntimePolicy> make_adaptive_policy(AdaptiveSpec spec = {});
+
+// Provisions a policy held behind the generic interface if (and only if)
+// it is an AdaptivePolicy; returns whether it was one. The sim layer uses
+// this to wire the co-resident images the runtime table cannot know about.
+bool provision_adaptive(flex::RuntimePolicy& policy, const DeploymentImage& image);
+
+// One-call deployment wiring for the sim layer: provisions `policy` (a
+// no-op for fixed policies) with the co-resident image and returns the
+// worst-case FLEX checkpoint energy across the shipped variants — the
+// budget the caller's voltage-monitor threshold must cover. `dense` may
+// be null (fixed runtimes, or an unprovisioned single-variant image).
+double provision_deployment(flex::RuntimePolicy& policy, const dev::CostModel& cost,
+                            const ace::CompiledModel& primary,
+                            const ace::CompiledModel* dense, double burst_energy_j);
+
+// Downcast accessor for diagnostics (nullptr for fixed policies).
+const AdaptivePolicy* as_adaptive(const flex::RuntimePolicy* policy);
+
+}  // namespace ehdnn::sched

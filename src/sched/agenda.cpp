@@ -1,0 +1,77 @@
+#include "sched/agenda.h"
+
+#include "sched/adaptive.h"
+#include "util/check.h"
+
+namespace ehdnn::sched {
+
+JobQueue::JobQueue(dev::Device& dev, flex::RuntimePolicy& policy,
+                   const ace::CompiledModel& primary, const flex::RunOptions& opts,
+                   const DeviceAgenda& agenda,
+                   const std::vector<std::vector<fx::q15_t>>* job_inputs)
+    : dev_(&dev),
+      policy_(&policy),
+      primary_(&primary),
+      opts_(opts),
+      agenda_(agenda),
+      inputs_(job_inputs),
+      ex_(policy) {
+  check(dev.supply() != nullptr, "JobQueue: device needs a supply (job timing)");
+  check(agenda.jobs >= 1, "JobQueue: agenda needs at least one job");
+  check(agenda.period_s > 0.0, "JobQueue: agenda period must be > 0");
+  check(job_inputs != nullptr &&
+            job_inputs->size() == static_cast<std::size_t>(agenda.jobs),
+        "JobQueue: need one input per job");
+  if (const AdaptivePolicy* ap = as_adaptive(policy_)) last_switches_ = ap->tier_switches();
+  arm_next();
+}
+
+void JobQueue::arm_next() {
+  const int j = static_cast<int>(records_.size());
+  release_s_ = static_cast<double>(j) * agenda_.period_s;
+  dev::PowerSupply& supply = *dev_->supply();
+  // Park until release: income accrues, nothing is drawn.
+  if (supply.now() < release_s_) supply.idle_until(release_s_);
+  start_s_ = supply.now();
+  ex_.start(*dev_, *primary_, (*inputs_)[static_cast<std::size_t>(j)], opts_);
+}
+
+void JobQueue::record_finished() {
+  const flex::RunStats st = ex_.take_stats();
+  JobRecord r;
+  r.job = static_cast<int>(records_.size());
+  r.release_s = release_s_;
+  r.start_s = start_s_;
+  r.finish_s = dev_->supply()->now();
+  r.latency_s = r.finish_s - start_s_;
+  r.staleness_s = r.finish_s - release_s_;
+  r.outcome = st.outcome;
+  r.met_deadline = st.completed() && r.staleness_s <= agenda_.deadline_s;
+  r.reboots = st.reboots;
+  r.checkpoints = st.checkpoints;
+  r.progress_commits = st.progress_commits;
+  r.energy_j = st.energy_j;
+  if (const AdaptivePolicy* ap = as_adaptive(policy_)) {
+    r.runtime = ap->current_runtime();
+    r.tier_switches = ap->tier_switches() - last_switches_;
+    last_switches_ = ap->tier_switches();
+  } else {
+    r.runtime = agenda_.runtime;
+  }
+  records_.push_back(std::move(r));
+}
+
+bool JobQueue::step() {
+  if (done_) return false;
+  ++steps_;
+  if (ex_.step()) return true;
+  record_finished();
+  if (static_cast<int>(records_.size()) >= agenda_.jobs) {
+    done_ = true;
+    return false;
+  }
+  arm_next();
+  return true;
+}
+
+}  // namespace ehdnn::sched

@@ -1,0 +1,89 @@
+// Duty-cycled recurring inference: a device does not run ONE inference,
+// it owes a stream of them — sample, infer, report, sleep, repeat. The
+// DeviceAgenda says what it owes (how many jobs, released how often, due
+// when); the JobQueue executes the agenda on one device, job by job,
+// through the incremental IntermittentExecutor API, and records what
+// every job actually did: completion, deadline verdict, staleness, and —
+// under the adaptive scheduler — which runtime tier finished it.
+//
+// Time is supply time (PowerSupply::now()): job j is released at
+// j * period_s; between a job's completion and the next release the
+// device parks in PowerSupply::idle_until, where harvest income keeps
+// charging the capacitor but nothing is drawn. Staleness is
+// finish - release — what the paper's intermittent-latency numbers
+// become once inference is recurring rather than one-shot.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flex/executor.h"
+
+namespace ehdnn::sched {
+
+struct DeviceAgenda {
+  std::string runtime = "flex";  // runtime key (informational in records;
+                                 // the queue runs whatever policy it is given)
+  int jobs = 1;                  // inferences owed
+  double period_s = 0.1;         // release period (must be > 0)
+  double deadline_s = std::numeric_limits<double>::infinity();  // relative
+};
+
+struct JobRecord {
+  int job = 0;
+  double release_s = 0.0;    // j * period_s
+  double start_s = 0.0;      // supply time when armed (>= release)
+  double finish_s = 0.0;
+  double latency_s = 0.0;    // finish - start
+  double staleness_s = 0.0;  // finish - release (the deadline clock)
+  flex::Outcome outcome = flex::Outcome::kDidNotFinish;
+  bool met_deadline = false;  // completed && staleness <= deadline
+  std::string runtime;        // completing tier (adaptive) or the fixed key
+  long reboots = 0;
+  long checkpoints = 0;
+  long progress_commits = 0;
+  long tier_switches = 0;  // adaptive mid-run switches during this job
+  double energy_j = 0.0;
+};
+
+// Drives one device's agenda. Non-owning over device/policy/model/inputs;
+// all must outlive the queue. The device must have a supply attached
+// (job timing is supply time).
+class JobQueue {
+ public:
+  JobQueue(dev::Device& dev, flex::RuntimePolicy& policy,
+           const ace::CompiledModel& primary, const flex::RunOptions& opts,
+           const DeviceAgenda& agenda,
+           const std::vector<std::vector<fx::q15_t>>* job_inputs);
+
+  // Advances by one executor slice (or one job transition). Returns true
+  // while the agenda has work left; a finished queue returns false.
+  bool step();
+
+  bool finished() const { return done_; }
+  const std::vector<JobRecord>& records() const { return records_; }
+  long steps() const { return steps_; }
+
+ private:
+  void arm_next();
+  void record_finished();
+
+  dev::Device* dev_;
+  flex::RuntimePolicy* policy_;
+  const ace::CompiledModel* primary_;
+  flex::RunOptions opts_;
+  DeviceAgenda agenda_;
+  const std::vector<std::vector<fx::q15_t>>* inputs_;
+
+  flex::IntermittentExecutor ex_;
+  std::vector<JobRecord> records_;
+  double release_s_ = 0.0;
+  double start_s_ = 0.0;
+  long last_switches_ = 0;
+  long steps_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace ehdnn::sched

@@ -1,0 +1,161 @@
+#include "sched/forecast.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/spec.h"
+
+namespace ehdnn::sched {
+
+namespace {
+
+class EmaForecaster : public HarvestForecaster {
+ public:
+  EmaForecaster(double prior_w, double alpha) : prior_(prior_w), alpha_(alpha), est_(prior_w) {
+    check(prior_w >= 0.0 && alpha > 0.0 && alpha <= 1.0, "ema forecaster: bad parameters");
+  }
+
+  std::string name() const override { return "ema"; }
+
+  void record(double income_w) override {
+    est_ = (1.0 - alpha_) * est_ + alpha_ * income_w;
+    ++samples_;
+  }
+
+  double forecast_w() const override { return est_; }
+  long samples() const override { return samples_; }
+
+  void reset() override {
+    est_ = prior_;
+    samples_ = 0;
+  }
+
+ private:
+  double prior_, alpha_, est_;
+  long samples_ = 0;
+};
+
+class WindowForecaster : public HarvestForecaster {
+ public:
+  WindowForecaster(double prior_w, std::size_t n) : prior_(prior_w), n_(n) {
+    check(prior_w >= 0.0 && n > 0, "window forecaster: bad parameters");
+  }
+
+  std::string name() const override { return "window"; }
+
+  void record(double income_w) override {
+    if (window_.size() < n_) {
+      window_.push_back(income_w);
+    } else {
+      window_[static_cast<std::size_t>(samples_) % n_] = income_w;
+    }
+    ++samples_;
+  }
+
+  double forecast_w() const override {
+    if (window_.empty()) return prior_;
+    return std::accumulate(window_.begin(), window_.end(), 0.0) /
+           static_cast<double>(window_.size());
+  }
+
+  long samples() const override { return samples_; }
+
+  void reset() override {
+    window_.clear();
+    samples_ = 0;
+  }
+
+ private:
+  double prior_;
+  std::size_t n_;
+  std::vector<double> window_;
+  long samples_ = 0;
+};
+
+class ConstForecaster : public HarvestForecaster {
+ public:
+  explicit ConstForecaster(double w) : w_(w) {
+    check(w >= 0.0, "const forecaster: bad parameter");
+  }
+
+  std::string name() const override { return "const"; }
+  void record(double) override { ++samples_; }
+  double forecast_w() const override { return w_; }
+  long samples() const override { return samples_; }
+  void reset() override { samples_ = 0; }
+
+ private:
+  double w_;
+  long samples_ = 0;
+};
+
+constexpr double kDefaultPriorW = 1.2e-3;  // the paper's constant-harvest regime
+
+// THE forecaster-kind table (dispatch + forecaster_kinds(), one place).
+struct KindEntry {
+  const char* kind;
+  std::unique_ptr<HarvestForecaster> (*make)(SpecArgs& a);
+};
+
+std::unique_ptr<HarvestForecaster> make_ema_spec(SpecArgs& a) {
+  return make_ema_forecaster(a.num("prior", kDefaultPriorW), a.num("alpha", 0.5));
+}
+
+std::unique_ptr<HarvestForecaster> make_window_spec(SpecArgs& a) {
+  // Range-checked before the cast (out-of-range double-to-size_t is UB).
+  const double n = a.num("n", 8.0);
+  check(n >= 1.0 && n <= 1e6 && n == std::floor(n),
+        "window forecaster: n must be an integer in [1, 1e6]");
+  return make_window_forecaster(a.num("prior", kDefaultPriorW),
+                                static_cast<std::size_t>(n));
+}
+
+std::unique_ptr<HarvestForecaster> make_const_spec(SpecArgs& a) {
+  return make_const_forecaster(a.num("w", kDefaultPriorW));
+}
+
+constexpr KindEntry kKindTable[] = {
+    {"ema", make_ema_spec},
+    {"window", make_window_spec},
+    {"const", make_const_spec},
+};
+
+}  // namespace
+
+std::unique_ptr<HarvestForecaster> make_ema_forecaster(double prior_w, double alpha) {
+  return std::make_unique<EmaForecaster>(prior_w, alpha);
+}
+
+std::unique_ptr<HarvestForecaster> make_window_forecaster(double prior_w, std::size_t n) {
+  return std::make_unique<WindowForecaster>(prior_w, n);
+}
+
+std::unique_ptr<HarvestForecaster> make_const_forecaster(double w) {
+  return std::make_unique<ConstForecaster>(w);
+}
+
+const std::vector<std::string>& forecaster_kinds() {
+  static const std::vector<std::string> kinds = [] {
+    std::vector<std::string> v;
+    for (const auto& k : kKindTable) v.emplace_back(k.kind);
+    return v;
+  }();
+  return kinds;
+}
+
+std::unique_ptr<HarvestForecaster> make_forecaster(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  SpecArgs a(spec, colon == std::string::npos ? "" : spec.substr(colon + 1));
+  for (const auto& k : kKindTable) {
+    if (kind == k.kind) {
+      auto fc = k.make(a);
+      a.finish();
+      return fc;
+    }
+  }
+  fail("forecaster spec \"" + spec + "\": unknown kind \"" + kind + "\" (ema|window|const)");
+}
+
+}  // namespace ehdnn::sched

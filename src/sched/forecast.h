@@ -1,0 +1,66 @@
+// Harvest forecasting: predicting the income the harvester will deliver
+// over the next power cycle from what it delivered over past ones.
+//
+// The intermittent runtimes observe income only indirectly — each
+// recharge gap refills the capacitor's burst energy, so one observed
+// sample is burst_energy / gap_seconds (watts). A forecaster folds those
+// samples into a prediction; the adaptive policy (sched/adaptive.h) maps
+// the prediction onto a runtime/model-variant ladder at every boot.
+//
+// Forecasters are deterministic: the same sample sequence yields the same
+// forecasts, which is what keeps adaptive runs replayable (the same
+// property the crash-consistency fuzzer relies on).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ehdnn::sched {
+
+class HarvestForecaster {
+ public:
+  virtual ~HarvestForecaster() = default;
+
+  virtual std::string name() const = 0;
+
+  // Folds one observed recharge-average income sample (watts) in.
+  virtual void record(double income_w) = 0;
+
+  // Predicted income (watts) for the next power cycle. Before the first
+  // record() this is the configured prior.
+  virtual double forecast_w() const = 0;
+
+  // Number of samples folded in so far.
+  virtual long samples() const = 0;
+
+  // Back to the prior, forgetting all samples (a fresh deployment; NOT
+  // called between jobs — carrying the forecast across jobs is the whole
+  // point of per-boot scheduling).
+  virtual void reset() = 0;
+};
+
+// Exponential moving average: forecast <- (1-alpha)*forecast + alpha*x.
+// `alpha` in (0, 1]; 1.0 degenerates to last-value prediction.
+std::unique_ptr<HarvestForecaster> make_ema_forecaster(double prior_w, double alpha);
+
+// Windowed-trace predictor: the mean of the last `n` samples (the trace
+// window), prior before any sample arrives.
+std::unique_ptr<HarvestForecaster> make_window_forecaster(double prior_w, std::size_t n);
+
+// Fixed-assumption forecaster: always predicts `w`, ignores samples
+// (adaptation disabled; useful as an experiment control).
+std::unique_ptr<HarvestForecaster> make_const_forecaster(double w);
+
+// Factory keyed by a spec string, mirroring power::make_harvest_source:
+//   ema[:prior=W,alpha=A]     (defaults prior=1.2e-3, alpha=0.5)
+//   window[:prior=W,n=N]      (defaults prior=1.2e-3, n=8)
+//   const[:w=W]               (default w=1.2e-3)
+// Unknown kinds/keys and malformed values throw ehdnn::Error.
+std::unique_ptr<HarvestForecaster> make_forecaster(const std::string& spec);
+
+// The spec kinds the factory accepts, from the same static kind table the
+// dispatch uses.
+const std::vector<std::string>& forecaster_kinds();
+
+}  // namespace ehdnn::sched

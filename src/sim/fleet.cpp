@@ -1,18 +1,27 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
+#include <sstream>
+#include <thread>
 
 #include "core/ace/compiled_model.h"
-#include "core/flex/executor.h"
 #include "power/capacitor.h"
 #include "power/factory.h"
 #include "power/monitor.h"
+#include "sched/adaptive.h"
 #include "sim/scenario.h"
 #include "util/check.h"
+#include "util/parse.h"
 #include "util/rng.h"
 
 namespace ehdnn::sim {
@@ -20,32 +29,24 @@ namespace ehdnn::sim {
 namespace {
 
 // Everything one simulated device owns. Pointer-stable (held by
-// unique_ptr) because supplies and executors point into it.
+// unique_ptr) because supplies, executors and the job queue point into it.
 struct FleetDevice {
   power::TimeOffsetSource source;
   power::CapacitorSupply supply;
   dev::Device device;
-  ace::CompiledModel cm;
-  std::vector<fx::q15_t> input;
+  ace::CompiledModel cm_primary;
+  std::optional<ace::CompiledModel> cm_dense;  // adaptive: co-resident twin
+  std::vector<std::vector<fx::q15_t>> inputs;  // one per job
   std::unique_ptr<flex::RuntimePolicy> policy;
-  flex::IntermittentExecutor ex;
   flex::RunOptions opts;
-  long steps = 0;
+  std::optional<sched::JobQueue> queue;  // constructed last (borrows the rest)
 
   FleetDevice(const power::HarvestSource& base, double offset,
-              const power::CapacitorConfig& ccfg, const dev::DeviceConfig& dcfg,
-              const quant::QuantModel& qm, std::vector<fx::q15_t> in,
-              std::unique_ptr<flex::RuntimePolicy> pol)
-      : source(base, offset),
-        supply(source, ccfg),
-        device(dcfg),
-        input(std::move(in)),
-        policy(std::move(pol)),
-        ex(*policy) {
+              const power::CapacitorConfig& ccfg, const dev::DeviceConfig& dcfg)
+      : source(base, offset), supply(source, ccfg), device(dcfg) {
     // Supply must be attached before compile so deploy-time accounting
     // matches the scenario engine's run_cell exactly.
     device.attach_supply(&supply);
-    cm = ace::compile(qm, device);
   }
 };
 
@@ -72,140 +73,439 @@ std::string json_str(const std::string& s) {
   return out + "\"";
 }
 
+// JSON has no infinity: an unbounded deadline is emitted as -1.
+double json_deadline(double v) { return std::isfinite(v) ? v : -1.0; }
+
+void validate(const FleetConfig& cfg) {
+  check(!cfg.groups.empty(), "fleet config: need at least one group");
+  check(cfg.offset_spread_s >= 0.0, "fleet config: spread must be >= 0");
+  for (const auto& g : cfg.groups) {
+    const std::string where = "fleet group \"" + g.name + "\"";
+    check(g.count >= 1, where + ": count must be >= 1");
+    check(g.capacitance_f > 0.0, where + ": capacitance must be > 0");
+    check(g.max_off_s > 0.0, where + ": max_off must be > 0");
+    check(g.max_reboots >= 1, where + ": reboots must be >= 1");
+    check(g.agenda.jobs >= 1, where + ": jobs must be >= 1");
+    check(g.agenda.period_s > 0.0, where + ": agenda period must be > 0");
+    check(g.agenda.deadline_s > 0.0, where + ": deadline must be > 0");
+    runtime_uses_compressed_model(g.agenda.runtime);  // throws on unknown key
+    if (!g.sched_spec.empty()) {
+      check(runtime_is_adaptive(g.agenda.runtime),
+            where + ": sched= only applies to the adaptive runtime");
+      sched::parse_adaptive_spec(g.sched_spec);  // throws on malformed spec
+    }
+  }
+}
+
+// The model variants a group's runtime executes: adaptive ships both.
+void group_variants(const FleetGroup& g, bool* need_compressed, bool* need_dense) {
+  const bool adaptive = runtime_is_adaptive(g.agenda.runtime);
+  const bool compressed = runtime_uses_compressed_model(g.agenda.runtime);
+  *need_compressed = adaptive || compressed;
+  *need_dense = adaptive || !compressed;
+}
+
 }  // namespace
 
-FleetReport run_fleet(const FleetOptions& opts) {
-  check(opts.devices > 0, "fleet: need at least one device");
-  const bool compressed = runtime_uses_compressed_model(opts.runtime);  // throws on bad key
-  const auto base_source = power::make_harvest_source(opts.source);
+int FleetConfig::total_devices() const {
+  int n = 0;
+  for (const auto& g : groups) n += g.count;
+  return n;
+}
 
-  // One model instance for the whole fleet, seeded like the scenario
-  // sweep; each device gets its own derived input (different users,
-  // different samples).
-  Rng model_rng(opts.seed + static_cast<std::uint64_t>(opts.task));
-  const quant::QuantModel qm = models::make_deployed_qmodel(opts.task, compressed, model_rng);
-  const std::size_t in_size = qm.layers.front().in_size();
+FleetConfig parse_fleet_config(std::istream& is) {
+  FleetConfig cfg;
+  bool saw_fleet_line = false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string where = "fleet config line " + std::to_string(lineno);
+    // Strip comments, tokenize on whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    for (std::string t; ls >> t;) tokens.push_back(t);
+    if (tokens.empty()) continue;
 
-  power::CapacitorConfig ccfg;
-  ccfg.capacitance_f = opts.capacitance_f;
-  ccfg.max_off_s = opts.max_off_s;
+    std::map<std::string, std::string> kv;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      check(eq != std::string::npos && eq > 0,
+            where + ": expected key=value, got \"" + tokens[i] + "\"");
+      const std::string key = tokens[i].substr(0, eq);
+      check(kv.find(key) == kv.end(), where + ": duplicate key \"" + key + "\"");
+      kv[key] = tokens[i].substr(eq + 1);
+    }
+    auto take = [&](const char* key) -> std::optional<std::string> {
+      const auto it = kv.find(key);
+      if (it == kv.end()) return std::nullopt;
+      std::string v = it->second;
+      kv.erase(it);
+      return v;
+    };
+    auto take_num = [&](const char* key) -> std::optional<double> {
+      const auto v = take(key);
+      if (!v.has_value()) return std::nullopt;
+      const auto d = parse_double(*v);
+      check(d.has_value(), where + ": bad number for " + key + ": \"" + *v + "\"");
+      return d;
+    };
+    // Integer-valued keys: range-checked BEFORE the cast (a double out of
+    // the target's range is undefined behavior at the conversion, not a
+    // garbage value) so malformed entries throw as documented.
+    auto take_int = [&](const char* key, double lo, double hi) -> std::optional<long long> {
+      const auto v = take_num(key);
+      if (!v.has_value()) return std::nullopt;
+      check(*v >= lo && *v <= hi && *v == std::floor(*v),
+            where + ": " + key + " must be an integer in [" + std::to_string(lo) + ", " +
+                std::to_string(hi) + "]");
+      return static_cast<long long>(*v);
+    };
 
-  const int n = opts.devices;
-  std::vector<std::unique_ptr<FleetDevice>> fleet;
-  fleet.reserve(static_cast<std::size_t>(n));
-  for (int d = 0; d < n; ++d) {
-    const double offset =
-        opts.offset_spread_s * static_cast<double>(d) / static_cast<double>(n);
-    dev::DeviceConfig dcfg = models::deployment_device_config(compressed);
-    dcfg.scramble_seed =
-        opts.seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(d) + 1);
-    Rng in_rng(opts.seed ^ (0xf1ee7u + static_cast<std::uint64_t>(d) * 0x10001u));
-    std::vector<fx::q15_t> input(in_size);
-    for (auto& v : input) v = static_cast<fx::q15_t>(in_rng.next_u64());
-    fleet.push_back(std::make_unique<FleetDevice>(*base_source, offset, ccfg, dcfg, qm,
-                                                  std::move(input),
-                                                  make_policy(opts.runtime)));
-    FleetDevice& fd = *fleet.back();
-    fd.opts.max_reboots = opts.max_reboots;
-    fd.opts.flex_v_warn = power::warn_voltage_for(
-        fd.supply.config(), flex::worst_checkpoint_energy(fd.cm, fd.device.cost()) + 5e-6,
-        3.0);
-    fd.ex.start(fd.device, fd.cm, fd.input, fd.opts);
+    if (tokens[0] == "fleet") {
+      check(!saw_fleet_line, where + ": duplicate fleet line");
+      saw_fleet_line = true;
+      if (const auto v = take("source")) cfg.source = *v;
+      if (const auto v = take_num("spread")) cfg.offset_spread_s = *v;
+      if (const auto v = take("seed")) {
+        const char* s = v->c_str();
+        char* end = nullptr;
+        cfg.seed = std::strtoull(s, &end, 0);
+        check(end != s && *end == '\0', where + ": bad seed \"" + *v + "\"");
+      }
+    } else if (tokens[0] == "group") {
+      FleetGroup g;
+      g.name = "group" + std::to_string(cfg.groups.size());
+      if (const auto v = take("name")) g.name = *v;
+      if (const auto v = take_int("count", 0, 1e9)) g.count = static_cast<int>(*v);
+      if (const auto v = take("task")) g.task = models::parse_task(*v);
+      if (const auto v = take("runtime")) g.agenda.runtime = *v;
+      if (const auto v = take_num("cap")) g.capacitance_f = *v;
+      if (const auto v = take_num("max_off")) g.max_off_s = *v;
+      if (const auto v = take_int("reboots", 0, 1e15)) g.max_reboots = static_cast<long>(*v);
+      if (const auto v = take_int("jobs", 0, 1e9)) g.agenda.jobs = static_cast<int>(*v);
+      if (const auto v = take_num("period")) g.agenda.period_s = *v;
+      if (const auto v = take_num("deadline")) g.agenda.deadline_s = *v;
+      if (const auto v = take("sched")) g.sched_spec = *v;
+      if (const auto v = take_int("fram", 0, 1e12)) {
+        g.fram_words = static_cast<std::size_t>(*v);
+      }
+      cfg.groups.push_back(std::move(g));
+    } else {
+      fail(where + ": expected \"fleet\" or \"group\", got \"" + tokens[0] + "\"");
+    }
+    check(kv.empty(),
+          where + ": unknown key \"" + (kv.empty() ? "" : kv.begin()->first) + "\"");
+  }
+  validate(cfg);
+  return cfg;
+}
+
+FleetConfig parse_fleet_config_file(const std::string& path) {
+  std::ifstream f(path);
+  check(f.good(), "fleet config: cannot read " + path);
+  return parse_fleet_config(f);
+}
+
+FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts) {
+  validate(cfg);
+  const auto base_source = power::make_harvest_source(cfg.source);
+  const int n = cfg.total_devices();
+
+  // One model instance per (task, variant) for the whole fleet, seeded
+  // like the scenario sweep; each device gets its own derived inputs
+  // (different users, different samples).
+  std::map<std::pair<int, bool>, quant::QuantModel> qms;
+  for (const auto& g : cfg.groups) {
+    bool need_c = false, need_d = false;
+    group_variants(g, &need_c, &need_d);
+    for (const bool compressed : {true, false}) {
+      if (!(compressed ? need_c : need_d)) continue;
+      const auto key = std::make_pair(static_cast<int>(g.task), compressed);
+      if (qms.count(key) != 0) continue;
+      Rng rng(cfg.seed + static_cast<std::uint64_t>(g.task));
+      qms.emplace(key, models::make_deployed_qmodel(g.task, compressed, rng));
+    }
   }
 
-  // Round-robin scheduler: one executor slice per live device per round.
-  // Devices suspend between slices at zero cost, so the interleaving is
-  // free — and the loop is the fleet-scale use of the incremental API.
-  bool any_live = true;
-  while (any_live) {
-    any_live = false;
-    for (auto& fd : fleet) {
-      if (fd->ex.finished()) continue;
-      fd->ex.step();
-      ++fd->steps;
-      any_live = any_live || !fd->ex.finished();
+  // Auto-size each group's FRAM: compile its image(s) once on a scratch
+  // device and take the cumulative footprint plus slack. Keeps a mixed
+  // fleet's memory proportional to what each device actually ships
+  // instead of provisioning every device for the largest dense twin.
+  std::vector<std::size_t> group_fram(cfg.groups.size());
+  for (std::size_t gi = 0; gi < cfg.groups.size(); ++gi) {
+    const FleetGroup& g = cfg.groups[gi];
+    if (g.fram_words != 0) {
+      group_fram[gi] = g.fram_words;
+      continue;
     }
+    bool need_c = false, need_d = false;
+    group_variants(g, &need_c, &need_d);
+    dev::DeviceConfig scratch_cfg = models::deployment_device_config(/*compressed=*/false);
+    dev::Device scratch(scratch_cfg);
+    std::size_t used = 0;
+    bool first = true;
+    for (const bool compressed : {true, false}) {
+      if (!(compressed ? need_c : need_d)) continue;
+      const auto& qm = qms.at({static_cast<int>(g.task), compressed});
+      used = ace::compile(qm, scratch, /*co_resident=*/!first).fram_words_used;
+      first = false;
+    }
+    group_fram[gi] = used + 1024;
+  }
+
+  // Build the population, group-major (device ids and harvest offsets are
+  // global across groups).
+  std::vector<std::unique_ptr<FleetDevice>> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  std::vector<std::size_t> device_group;  // device id -> group index
+  for (std::size_t gi = 0; gi < cfg.groups.size(); ++gi) {
+    const FleetGroup& g = cfg.groups[gi];
+    const bool adaptive = runtime_is_adaptive(g.agenda.runtime);
+    const bool primary_compressed = runtime_uses_compressed_model(g.agenda.runtime);
+    const auto& qm_primary = qms.at({static_cast<int>(g.task), primary_compressed});
+
+    power::CapacitorConfig ccfg;
+    ccfg.capacitance_f = g.capacitance_f;
+    ccfg.max_off_s = g.max_off_s;
+
+    for (int k = 0; k < g.count; ++k) {
+      const int d = static_cast<int>(fleet.size());
+      const double offset =
+          cfg.offset_spread_s * static_cast<double>(d) / static_cast<double>(n);
+      dev::DeviceConfig dcfg;
+      dcfg.fram_words = group_fram[gi];
+      dcfg.scramble_seed =
+          cfg.seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(d) + 1);
+
+      fleet.push_back(std::make_unique<FleetDevice>(*base_source, offset, ccfg, dcfg));
+      device_group.push_back(gi);
+      FleetDevice& fd = *fleet.back();
+      fd.cm_primary = ace::compile(qm_primary, fd.device);
+      if (adaptive) {
+        fd.cm_dense = ace::compile(qms.at({static_cast<int>(g.task), false}), fd.device,
+                                   /*co_resident=*/true);
+      }
+
+      const std::size_t in_size = fd.cm_primary.model.layers.front().in_size();
+      fd.inputs.resize(static_cast<std::size_t>(g.agenda.jobs));
+      for (int j = 0; j < g.agenda.jobs; ++j) {
+        Rng in_rng(cfg.seed ^ (0xf1ee7ull + static_cast<std::uint64_t>(d) * 0x10001ull +
+                               static_cast<std::uint64_t>(j) * 0x9e3779b9ull));
+        auto& input = fd.inputs[static_cast<std::size_t>(j)];
+        input.resize(in_size);
+        for (auto& v : input) v = static_cast<fx::q15_t>(in_rng.next_u64());
+      }
+
+      if (adaptive) {
+        fd.policy = g.sched_spec.empty()
+                        ? sched::make_adaptive_policy()
+                        : sched::make_adaptive_policy(sched::parse_adaptive_spec(g.sched_spec));
+      } else {
+        fd.policy = make_policy(g.agenda.runtime);
+      }
+      const double worst_ck = sched::provision_deployment(
+          *fd.policy, fd.device.cost(), fd.cm_primary,
+          fd.cm_dense.has_value() ? &*fd.cm_dense : nullptr, fd.supply.burst_energy());
+      fd.opts.max_reboots = g.max_reboots;
+      fd.opts.flex_v_warn = power::warn_voltage_for(fd.supply.config(), worst_ck + 5e-6, 3.0);
+      fd.queue.emplace(fd.device, *fd.policy, fd.cm_primary, fd.opts, g.agenda, &fd.inputs);
+    }
+  }
+
+  // Run every agenda to completion. jobs == 1: the round-robin scheduler
+  // advances every live device by one executor slice per round — the
+  // incremental API interleaving all suspended inferences on one thread.
+  // jobs > 1: workers claim whole devices off an atomic cursor (devices
+  // are independent, so the interleaving cannot change any result).
+  const int run_jobs = std::max(ropts.jobs, 1);
+  if (run_jobs == 1 || n <= 1) {
+    bool any_live = true;
+    while (any_live) {
+      any_live = false;
+      for (auto& fd : fleet) {
+        if (fd->queue->finished()) continue;
+        fd->queue->step();
+        any_live = any_live || !fd->queue->finished();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+      for (std::size_t i = cursor.fetch_add(1); i < fleet.size(); i = cursor.fetch_add(1)) {
+        while (fleet[i]->queue->step()) {
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    const std::size_t n_threads =
+        std::min<std::size_t>(static_cast<std::size_t>(run_jobs), fleet.size());
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
   }
 
   FleetReport r;
-  r.opts = opts;
+  r.config = cfg;
   r.devices.reserve(static_cast<std::size_t>(n));
-  std::vector<double> latencies;
+  std::vector<double> latencies, stalenesses;
   for (int d = 0; d < n; ++d) {
     FleetDevice& fd = *fleet[static_cast<std::size_t>(d)];
-    const flex::RunStats st = fd.ex.take_stats();
+    const FleetGroup& g = cfg.groups[device_group[static_cast<std::size_t>(d)]];
     FleetDeviceResult res;
     res.device = d;
+    res.group = g.name;
     res.offset_s = fd.source.offset();
-    res.outcome = st.outcome;
-    res.on_s = st.on_seconds;
-    res.off_s = st.off_seconds;
-    res.total_s = st.total_seconds();
-    res.energy_j = st.energy_j;
-    res.reboots = st.reboots;
-    res.checkpoints = st.checkpoints;
-    res.progress_commits = st.progress_commits;
-    res.steps = fd.steps;
-    switch (st.outcome) {
-      case flex::Outcome::kCompleted:
-        ++r.completed_count;
-        latencies.push_back(res.total_s);
-        break;
-      case flex::Outcome::kDidNotFinish:
-        ++r.dnf_count;
-        break;
-      case flex::Outcome::kStarved:
-        ++r.starved_count;
-        break;
+    res.task = models::task_name(g.task);
+    res.runtime = g.agenda.runtime;
+    res.capacitance_f = g.capacitance_f;
+    res.jobs = fd.queue->records();
+    res.steps = fd.queue->steps();
+    for (const auto& j : res.jobs) {
+      ++r.total_jobs;
+      res.reboots += j.reboots;
+      res.tier_switches += j.tier_switches;
+      res.energy_j += j.energy_j;
+      switch (j.outcome) {
+        case flex::Outcome::kCompleted:
+          ++res.jobs_completed;
+          latencies.push_back(j.latency_s);
+          stalenesses.push_back(j.staleness_s);
+          break;
+        case flex::Outcome::kDidNotFinish:
+          ++r.jobs_dnf;
+          break;
+        case flex::Outcome::kStarved:
+          ++r.jobs_starved;
+          break;
+      }
+      if (j.met_deadline) ++res.jobs_in_deadline;
     }
+    r.jobs_completed += res.jobs_completed;
+    r.jobs_in_deadline += res.jobs_in_deadline;
     r.total_reboots += res.reboots;
+    r.total_tier_switches += res.tier_switches;
     r.total_energy_j += res.energy_j;
-    if (opts.verbose) {
-      std::fprintf(stderr, "fleet dev %3d (offset %.4fs): %s in %.4fs, %ld reboots\n", d,
-                   res.offset_s, flex::outcome_name(res.outcome), res.total_s, res.reboots);
+    if (ropts.verbose) {
+      std::fprintf(stderr,
+                   "fleet dev %3d [%s %s/%s]: %d/%zu jobs completed, %d in deadline, "
+                   "%ld reboots, %ld switches\n",
+                   d, g.name.c_str(), res.task.c_str(), res.runtime.c_str(),
+                   res.jobs_completed, res.jobs.size(), res.jobs_in_deadline, res.reboots,
+                   res.tier_switches);
     }
-    r.devices.push_back(res);
+    r.devices.push_back(std::move(res));
   }
 
   std::sort(latencies.begin(), latencies.end());
+  std::sort(stalenesses.begin(), stalenesses.end());
   r.latency_p50_s = nearest_rank(latencies, 50.0);
   r.latency_p90_s = nearest_rank(latencies, 90.0);
   r.latency_p99_s = nearest_rank(latencies, 99.0);
   r.latency_max_s = latencies.empty() ? 0.0 : latencies.back();
-  r.completion_rate = static_cast<double>(r.completed_count) / static_cast<double>(n);
+  r.staleness_p50_s = nearest_rank(stalenesses, 50.0);
+  r.staleness_p90_s = nearest_rank(stalenesses, 90.0);
+  r.staleness_p99_s = nearest_rank(stalenesses, 99.0);
+  r.staleness_max_s = stalenesses.empty() ? 0.0 : stalenesses.back();
+  r.completion_rate =
+      r.total_jobs == 0 ? 0.0
+                        : static_cast<double>(r.jobs_completed) / static_cast<double>(r.total_jobs);
+  r.deadline_rate =
+      r.total_jobs == 0
+          ? 0.0
+          : static_cast<double>(r.jobs_in_deadline) / static_cast<double>(r.total_jobs);
+
+  // Fixed-runtime baselines: the same population with every agenda forced
+  // to one key — the "adaptive vs best fixed runtime" evidence.
+  for (const auto& key : ropts.baseline_runtimes) {
+    FleetConfig bc = cfg;
+    for (auto& g : bc.groups) {
+      g.agenda.runtime = key;
+      g.sched_spec.clear();
+      g.fram_words = 0;  // re-auto-size for the forced variant
+    }
+    FleetRunOptions bo;
+    bo.jobs = ropts.jobs;
+    const FleetReport br = run_fleet(bc, bo);
+    r.baselines.push_back({key, br.jobs_completed, br.jobs_in_deadline});
+    if (ropts.verbose) {
+      std::fprintf(stderr, "fleet baseline %-8s: %d jobs completed, %d in deadline\n",
+                   key.c_str(), br.jobs_completed, br.jobs_in_deadline);
+    }
+  }
   return r;
 }
 
 void write_fleet_json(std::ostream& os, const FleetReport& r) {
-  const FleetOptions& o = r.opts;
-  os << "{\n  \"schema\": \"ehdnn-fleet-v1\",\n";
-  os << "  \"seed\": " << o.seed << ",\n";
-  os << "  \"task\": " << json_str(models::task_name(o.task)) << ",\n";
-  os << "  \"runtime\": " << json_str(o.runtime) << ",\n";
-  os << "  \"source\": " << json_str(o.source) << ",\n";
-  os << "  \"devices\": " << o.devices << ",\n";
-  os << "  \"capacitance_f\": " << o.capacitance_f << ",\n";
-  os << "  \"max_off_s\": " << o.max_off_s << ",\n";
-  os << "  \"offset_spread_s\": " << o.offset_spread_s << ",\n";
-  os << "  \"aggregate\": {\n";
-  os << "    \"completed\": " << r.completed_count << ", \"dnf\": " << r.dnf_count
-     << ", \"starved\": " << r.starved_count << ",\n";
-  os << "    \"completion_rate\": " << r.completion_rate << ",\n";
+  const FleetConfig& c = r.config;
+  os << "{\n  \"schema\": \"ehdnn-fleet-v2\",\n";
+  os << "  \"seed\": " << c.seed << ",\n";
+  os << "  \"source\": " << json_str(c.source) << ",\n";
+  os << "  \"offset_spread_s\": " << c.offset_spread_s << ",\n";
+  os << "  \"devices\": " << c.total_devices() << ",\n";
+  os << "  \"groups\": [\n";
+  for (std::size_t i = 0; i < c.groups.size(); ++i) {
+    const FleetGroup& g = c.groups[i];
+    os << "    {\"name\": " << json_str(g.name) << ", \"count\": " << g.count
+       << ", \"task\": " << json_str(models::task_name(g.task))
+       << ", \"runtime\": " << json_str(g.agenda.runtime)
+       << ", \"capacitance_f\": " << g.capacitance_f << ", \"max_off_s\": " << g.max_off_s
+       << ",\n     \"jobs\": " << g.agenda.jobs << ", \"period_s\": " << g.agenda.period_s
+       << ", \"deadline_s\": " << json_deadline(g.agenda.deadline_s)
+       << ", \"sched\": " << json_str(g.sched_spec) << "}"
+       << (i + 1 < c.groups.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"aggregate\": {\n";
+  os << "    \"total_jobs\": " << r.total_jobs << ", \"completed\": " << r.jobs_completed
+     << ", \"in_deadline\": " << r.jobs_in_deadline << ", \"dnf\": " << r.jobs_dnf
+     << ", \"starved\": " << r.jobs_starved << ",\n";
+  os << "    \"completion_rate\": " << r.completion_rate
+     << ", \"deadline_rate\": " << r.deadline_rate << ",\n";
   os << "    \"latency_p50_s\": " << r.latency_p50_s << ", \"latency_p90_s\": "
      << r.latency_p90_s << ", \"latency_p99_s\": " << r.latency_p99_s
      << ", \"latency_max_s\": " << r.latency_max_s << ",\n";
-  os << "    \"total_reboots\": " << r.total_reboots << ", \"total_energy_j\": "
-     << r.total_energy_j << "\n  },\n";
+  os << "    \"staleness_p50_s\": " << r.staleness_p50_s << ", \"staleness_p90_s\": "
+     << r.staleness_p90_s << ", \"staleness_p99_s\": " << r.staleness_p99_s
+     << ", \"staleness_max_s\": " << r.staleness_max_s << ",\n";
+  os << "    \"total_reboots\": " << r.total_reboots << ", \"tier_switches\": "
+     << r.total_tier_switches << ", \"total_energy_j\": " << r.total_energy_j << "\n  },\n";
+  os << "  \"baselines\": [";
+  for (std::size_t i = 0; i < r.baselines.size(); ++i) {
+    const FleetBaseline& b = r.baselines[i];
+    os << (i == 0 ? "\n" : "") << "    {\"runtime\": " << json_str(b.runtime)
+       << ", \"jobs_completed\": " << b.jobs_completed
+       << ", \"jobs_in_deadline\": " << b.jobs_in_deadline << "}"
+       << (i + 1 < r.baselines.size() ? ",\n" : "\n  ");
+  }
+  os << "],\n";
   os << "  \"per_device\": [\n";
   for (std::size_t i = 0; i < r.devices.size(); ++i) {
     const FleetDeviceResult& d = r.devices[i];
-    os << "    {\"device\": " << d.device << ", \"offset_s\": " << d.offset_s
-       << ", \"outcome\": " << json_str(flex::outcome_name(d.outcome))
-       << ", \"total_s\": " << d.total_s << ", \"on_s\": " << d.on_s << ", \"off_s\": "
-       << d.off_s << ",\n     \"energy_j\": " << d.energy_j << ", \"reboots\": "
-       << d.reboots << ", \"checkpoints\": " << d.checkpoints
-       << ", \"progress_commits\": " << d.progress_commits << ", \"steps\": " << d.steps
-       << "}" << (i + 1 < r.devices.size() ? "," : "") << "\n";
+    os << "    {\"device\": " << d.device << ", \"group\": " << json_str(d.group)
+       << ", \"offset_s\": " << d.offset_s << ", \"task\": " << json_str(d.task)
+       << ", \"runtime\": " << json_str(d.runtime)
+       << ", \"capacitance_f\": " << d.capacitance_f << ",\n     \"jobs_completed\": "
+       << d.jobs_completed << ", \"jobs_in_deadline\": " << d.jobs_in_deadline
+       << ", \"reboots\": " << d.reboots << ", \"tier_switches\": " << d.tier_switches
+       << ", \"energy_j\": " << d.energy_j << ", \"steps\": " << d.steps << ",\n";
+    os << "     \"jobs\": [\n";
+    for (std::size_t j = 0; j < d.jobs.size(); ++j) {
+      const sched::JobRecord& jr = d.jobs[j];
+      os << "      {\"job\": " << jr.job << ", \"release_s\": " << jr.release_s
+         << ", \"start_s\": " << jr.start_s << ", \"finish_s\": " << jr.finish_s
+         << ", \"latency_s\": " << jr.latency_s << ", \"staleness_s\": " << jr.staleness_s
+         << ",\n       \"outcome\": " << json_str(flex::outcome_name(jr.outcome))
+         << ", \"met_deadline\": " << (jr.met_deadline ? "true" : "false")
+         << ", \"runtime\": " << json_str(jr.runtime) << ", \"reboots\": " << jr.reboots
+         << ", \"checkpoints\": " << jr.checkpoints
+         << ", \"progress_commits\": " << jr.progress_commits
+         << ", \"tier_switches\": " << jr.tier_switches
+         << ", \"energy_j\": " << jr.energy_j << "}" << (j + 1 < d.jobs.size() ? "," : "")
+         << "\n";
+    }
+    os << "     ]}" << (i + 1 < r.devices.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

@@ -1,17 +1,26 @@
-// The fleet harness: N independent intermittent devices stepped
-// round-robin against time-offset views of one harvest environment —
-// the first "millions of users" scaling artifact on the road from a
-// single-device reproduction to population-scale simulation.
+// The fleet harness: N independent intermittent devices stepped against
+// time-offset views of one harvest environment — the population-scale
+// artifact on the road from a single-device reproduction to "millions of
+// users".
 //
-// Each device owns its Device model, capacitor supply, executor, and a
-// per-device derived input; all of them share one immutable harvest
-// source through power::TimeOffsetSource (device i sees the recording
-// shifted by i * spread / N). The round-robin scheduler advances every
-// live device by exactly one executor slice per round — this is the
-// incremental start()/step()/finished() API of flex::IntermittentExecutor
-// doing real work: hundreds of suspended inferences interleaved on one
-// simulator thread. The report aggregates completion counts and latency
-// percentiles across the population (FLEET.json, schema ehdnn-fleet-v1).
+// Since the scheduling subsystem landed, a fleet is heterogeneous and
+// duty-cycled: devices are declared in GROUPS (count x {task, runtime,
+// capacitor, FRAM geometry, agenda}), each device runs a recurring
+// inference agenda (sched::JobQueue) instead of one inference, and
+// `adaptive` devices carry both model variants co-resident and let
+// sched::AdaptivePolicy pick runtime + variant at every boot. Groups are
+// parsed from a fleet config file (see parse_fleet_config), so new
+// populations are new configs, no code.
+//
+// Each device owns its Device model, capacitor supply, compiled image(s),
+// policy and job queue; all share one immutable harvest source through
+// power::TimeOffsetSource (device i sees the recording shifted by
+// i * spread / N). With run jobs == 1 the scheduler advances every live
+// device by exactly one executor slice per round — the incremental
+// start()/step()/finished() API interleaving hundreds of suspended
+// inferences on one thread; with jobs > 1 a worker pool claims whole
+// devices (they are independent, so the report — and the bytes of
+// FLEET.json, schema ehdnn-fleet-v2 — is identical for any job count).
 #pragma once
 
 #include <iosfwd>
@@ -20,64 +29,117 @@
 
 #include "core/flex/runtime.h"
 #include "models/zoo.h"
+#include "sched/agenda.h"
 
 namespace ehdnn::sim {
 
-struct FleetOptions {
-  int devices = 64;
+// One homogeneous slice of the population.
+struct FleetGroup {
+  std::string name = "group";
+  int count = 1;
   models::Task task = models::Task::kMnist;
-  std::string runtime = "flex";            // any all_runtime_keys() entry
-  std::string source = "trace:path=traces/rf_office.csv";
-  double capacitance_f = 10e-6;            // per-device buffer
-  double max_off_s = 30.0;                 // starvation guard
+  sched::DeviceAgenda agenda;     // runtime key, jobs, period, deadline
+  double capacitance_f = 10e-6;   // per-device buffer
+  double max_off_s = 30.0;        // starvation guard
   long max_reboots = 100000;
-  // Device i's harvest view is shifted by i * offset_spread_s / devices;
-  // the default spreads the fleet across one second of the recording
-  // (the committed traces span 1-2 s and loop).
-  double offset_spread_s = 1.0;
-  std::uint64_t seed = 0xb0a710ad;         // model weights + per-device inputs
-  bool verbose = false;                    // per-device line to stderr
+  // Adaptive-scheduler spec override ("adaptive:rich=...,demote=...");
+  // empty = defaults. Only meaningful when agenda.runtime == "adaptive".
+  std::string sched_spec;
+  // Per-device FRAM words; 0 = auto-sized to fit this group's compiled
+  // image(s) (both variants for adaptive) plus slack.
+  std::size_t fram_words = 0;
 };
 
-// One device's run, plus its fleet coordinates.
+struct FleetConfig {
+  std::string source = "trace:path=traces/rf_office.csv";
+  // Device i's harvest view is shifted by i * offset_spread_s / N.
+  double offset_spread_s = 1.0;
+  std::uint64_t seed = 0xb0a710ad;  // model weights + per-device/job inputs
+  std::vector<FleetGroup> groups;
+
+  int total_devices() const;
+};
+
+// Parses the line-oriented fleet config format:
+//
+//   # comment
+//   fleet source=SPEC spread=S seed=N
+//   group name=ID count=N task=mnist runtime=adaptive cap=10e-6
+//         jobs=3 period=0.2 deadline=1.5 [max_off=S] [reboots=N]
+//         [sched=adaptive:...] [fram=WORDS]      (one line per group)
+//
+// Tokens are whitespace-separated key=value pairs; the `fleet` line is
+// optional (defaults above) and allowed at most once. Malformed entries —
+// negative capacitance, zero-period agendas, unknown runtime keys or
+// tasks, duplicate/unknown keys — throw ehdnn::Error.
+FleetConfig parse_fleet_config(std::istream& is);
+FleetConfig parse_fleet_config_file(const std::string& path);
+
+struct FleetRunOptions {
+  // Worker threads. Devices are fully independent, so the report is
+  // byte-identical for any value; 1 = the round-robin showcase.
+  int jobs = 1;
+  bool verbose = false;  // per-device line to stderr
+  // Re-run the SAME population with every agenda's runtime forced to
+  // each of these fixed keys and record jobs-completed/in-deadline —
+  // the "adaptive vs best fixed runtime" comparison in FLEET.json.
+  std::vector<std::string> baseline_runtimes;
+};
+
+// One device's agenda outcome, plus its fleet coordinates.
 struct FleetDeviceResult {
   int device = 0;
+  std::string group;
   double offset_s = 0.0;
-  flex::Outcome outcome = flex::Outcome::kDidNotFinish;
-  bool completed() const { return outcome == flex::Outcome::kCompleted; }
-  double on_s = 0.0;
-  double off_s = 0.0;
-  double total_s = 0.0;   // per-device latency (on + off)
-  double energy_j = 0.0;
+  std::string task;
+  std::string runtime;
+  double capacitance_f = 0.0;
+  std::vector<sched::JobRecord> jobs;
+  int jobs_completed = 0;
+  int jobs_in_deadline = 0;
   long reboots = 0;
-  long checkpoints = 0;
-  long progress_commits = 0;
-  long steps = 0;          // executor slices this device took
+  long tier_switches = 0;
+  double energy_j = 0.0;
+  long steps = 0;  // executor slices this device took
+};
+
+// A fixed-runtime rerun of the same population (FleetRunOptions::
+// baseline_runtimes).
+struct FleetBaseline {
+  std::string runtime;
+  int jobs_completed = 0;
+  int jobs_in_deadline = 0;
 };
 
 struct FleetReport {
-  FleetOptions opts;
+  FleetConfig config;
   std::vector<FleetDeviceResult> devices;
 
-  int completed_count = 0;
-  int dnf_count = 0;
-  int starved_count = 0;
+  int total_jobs = 0;
+  int jobs_completed = 0;
+  int jobs_in_deadline = 0;
+  int jobs_dnf = 0;
+  int jobs_starved = 0;
+  double completion_rate = 0.0;  // completed / total jobs
+  double deadline_rate = 0.0;    // in-deadline / total jobs
+  // Nearest-rank percentiles over completed jobs, seconds.
+  double latency_p50_s = 0.0, latency_p90_s = 0.0, latency_p99_s = 0.0, latency_max_s = 0.0;
+  double staleness_p50_s = 0.0, staleness_p90_s = 0.0, staleness_p99_s = 0.0,
+         staleness_max_s = 0.0;
   long total_reboots = 0;
+  long total_tier_switches = 0;
   double total_energy_j = 0.0;
-  // Latency percentiles over completed devices (nearest-rank), seconds.
-  double latency_p50_s = 0.0;
-  double latency_p90_s = 0.0;
-  double latency_p99_s = 0.0;
-  double latency_max_s = 0.0;
-  double completion_rate = 0.0;  // completed / devices
+
+  std::vector<FleetBaseline> baselines;
 };
 
-// Builds the fleet and steps it round-robin to completion. Deterministic
-// for a given options struct. Throws on unknown runtime keys or harvest
-// specs (fail fast, before any device boots).
-FleetReport run_fleet(const FleetOptions& opts);
+// Builds the fleet and runs every device's agenda to completion.
+// Deterministic for a given config; identical for any FleetRunOptions::
+// jobs. Throws on unknown runtime keys or harvest specs (fail fast,
+// before any device boots).
+FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts = {});
 
-// FLEET.json, schema ehdnn-fleet-v1 (see BENCHMARKS.md "Fleet").
+// FLEET.json, schema ehdnn-fleet-v2 (see BENCHMARKS.md "Fleet").
 void write_fleet_json(std::ostream& os, const FleetReport& r);
 
 }  // namespace ehdnn::sim

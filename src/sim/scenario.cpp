@@ -9,11 +9,15 @@
 #include <ostream>
 #include <thread>
 
+#include <limits>
+#include <optional>
+
 #include "core/ace/compiled_model.h"
 #include "power/capacitor.h"
 #include "power/continuous.h"
 #include "power/factory.h"
 #include "power/monitor.h"
+#include "sched/adaptive.h"
 #include "util/check.h"
 #include "util/parse.h"
 #include "util/rng.h"
@@ -22,27 +26,39 @@ namespace ehdnn::sim {
 
 namespace {
 
+std::unique_ptr<flex::RuntimePolicy> make_adaptive_default() {
+  return sched::make_adaptive_policy();
+}
+
 // THE runtime table: key, model variant, and both factories in one place
 // (the sweep, the fuzzer, and the fleet harness all resolve through it).
+// `adaptive` entries ship BOTH variants co-resident and pick per boot;
+// their `compressed` flag names the primary image the executor is armed
+// with (the sim layer provisions the dense twin via sched::
+// provision_adaptive).
 struct RuntimeEntry {
   const char* key;
-  bool compressed;  // deployment model vs dense twin
+  bool compressed;  // deployment model vs dense twin (primary for adaptive)
+  bool adaptive;    // per-boot scheduled (needs both variants provisioned)
   std::unique_ptr<flex::RuntimePolicy> (*make_policy)();
 };
 
 constexpr RuntimeEntry kRuntimeTable[] = {
-    {"base", false, flex::make_ace_policy},
-    {"ace", true, flex::make_ace_policy},
-    {"sonic", false, flex::make_sonic_policy},
-    {"tails", false, flex::make_tails_policy},
-    {"flex", true, flex::make_flex_policy},
+    {"base", false, false, flex::make_ace_policy},
+    {"ace", true, false, flex::make_ace_policy},
+    {"sonic", false, false, flex::make_sonic_policy},
+    {"tails", false, false, flex::make_tails_policy},
+    {"flex", true, false, flex::make_flex_policy},
+    {"adaptive", true, true, make_adaptive_default},
 };
 
 const RuntimeEntry& runtime_entry(const std::string& key) {
   for (const auto& rk : kRuntimeTable) {
     if (key == rk.key) return rk;
   }
-  fail("scenario: unknown runtime \"" + key + "\" (base|ace|sonic|tails|flex)");
+  std::string known;
+  for (const auto& rk : kRuntimeTable) known += std::string(known.empty() ? "" : "|") + rk.key;
+  fail("scenario: unknown runtime \"" + key + "\" (" + known + ")");
 }
 
 double parse_num(const std::string& arg, const std::string& key, const std::string& val) {
@@ -70,13 +86,19 @@ std::string json_str(const std::string& s) {
 // `src` is the scenario's shared (immutable) harvest source, or nullptr
 // for continuous bench power; the stateful capacitor is per cell, as is
 // the Device (seeded per cell so cells stay independent under any job
-// interleaving).
+// interleaving). `qms`/`inputs` hold the task's model variants keyed by
+// `compressed`; fixed runtimes use exactly one, the adaptive scheduler
+// gets both compiled co-resident and picks per boot.
 ScenarioCell run_cell(const std::string& rt_key, models::Task task,
-                      const quant::QuantModel& qm, const std::vector<fx::q15_t>& input,
+                      const std::map<bool, quant::QuantModel>& qms,
+                      const std::map<bool, std::vector<fx::q15_t>>& inputs,
                       const ScenarioSpec& sc, const power::HarvestSource* src,
                       std::uint64_t scramble_seed) {
   const RuntimeEntry& rk = runtime_entry(rt_key);
-  dev::DeviceConfig dcfg = models::deployment_device_config(rk.compressed);
+  // Adaptive devices carry the dense twin too, so they get the enlarged
+  // baseline FRAM geometry.
+  dev::DeviceConfig dcfg =
+      models::deployment_device_config(rk.adaptive ? false : rk.compressed);
   dcfg.scramble_seed = scramble_seed;
   dev::Device dev(dcfg);
 
@@ -93,16 +115,21 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
     dev.attach_supply(cap.get());
   }
 
-  const auto cm = ace::compile(qm, dev);
+  const auto cm = ace::compile(qms.at(rk.compressed), dev);
+  std::optional<ace::CompiledModel> cm_dense;
+  if (rk.adaptive) cm_dense = ace::compile(qms.at(false), dev, /*co_resident=*/true);
+
+  auto policy = rk.make_policy();
+  const double worst_ck = sched::provision_deployment(
+      *policy, dev.cost(), cm, cm_dense.has_value() ? &*cm_dense : nullptr,
+      continuous ? std::numeric_limits<double>::infinity() : cap->burst_energy());
   flex::RunOptions opts;
   opts.max_reboots = sc.max_reboots;
   if (!continuous) {
-    opts.flex_v_warn = power::warn_voltage_for(
-        cap->config(), flex::worst_checkpoint_energy(cm, dev.cost()) + 5e-6, 3.0);
+    opts.flex_v_warn = power::warn_voltage_for(cap->config(), worst_ck + 5e-6, 3.0);
   }
-
-  auto rt = make_runtime(rt_key);
-  const flex::RunStats st = rt->infer(dev, cm, input, opts);
+  auto rt = flex::make_policy_runtime(std::move(policy));
+  const flex::RunStats st = rt->infer(dev, cm, inputs.at(rk.compressed), opts);
 
   ScenarioCell cell;
   cell.task = models::task_name(task);
@@ -135,6 +162,8 @@ std::unique_ptr<flex::InferenceRuntime> make_runtime(const std::string& key) {
 bool runtime_uses_compressed_model(const std::string& key) {
   return runtime_entry(key).compressed;
 }
+
+bool runtime_is_adaptive(const std::string& key) { return runtime_entry(key).adaptive; }
 
 const std::vector<std::string>& all_runtime_keys() {
   static const std::vector<std::string> keys = [] {
@@ -194,7 +223,11 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
   // immutable (power_at is const), so each scenario's is built once and
   // shared read-only by its cells across workers.
   std::vector<bool> need_variant = {false, false};  // [compressed]
-  for (const auto& rt : runtimes) need_variant[runtime_entry(rt).compressed] = true;
+  for (const auto& rt : runtimes) {
+    const RuntimeEntry& e = runtime_entry(rt);
+    need_variant[e.compressed] = true;
+    if (e.adaptive) need_variant[false] = need_variant[true] = true;
+  }
   std::vector<std::unique_ptr<power::HarvestSource>> sources;
   for (const auto& sc : scenarios) {
     check(!sc.name.empty(), "scenario with empty name");
@@ -238,16 +271,14 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
       const std::size_t ti = i / (runtimes.size() * scenarios.size());
       const std::string& rt = runtimes[ri];
       const ScenarioSpec& sc = scenarios[si];
-      const bool compressed = runtime_entry(rt).compressed;
       // Per-cell derived scramble seed: cells are fully independent and
       // reproducible in isolation. (Outputs and modeled costs are
       // scramble-independent — the crash-consistency contract — so this
       // cannot change the matrix.)
       const std::uint64_t cell_seed =
           opts.seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(i) + 1);
-      ScenarioCell cell = run_cell(rt, tasks[ti], qms[ti].at(compressed),
-                                   inputs[ti].at(compressed), sc, sources[si].get(),
-                                   cell_seed);
+      ScenarioCell cell = run_cell(rt, tasks[ti], qms[ti], inputs[ti], sc,
+                                   sources[si].get(), cell_seed);
       if (opts.verbose) {
         const std::lock_guard<std::mutex> lock(log_mu);
         std::fprintf(stderr, "scenario %s/%s/%s: %s (on %.3fs, off %.3fs, %ld reboots)\n",

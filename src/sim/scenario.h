@@ -71,10 +71,12 @@ struct SweepOptions {
 };
 
 // Runtime keys, in sweep order: base and sonic/tails execute the dense
-// twin, ace and flex the RAD-compressed deployment model. Keys, model
-// variants, and the runtime/policy factories all come from ONE static
-// table, so adding a runtime cannot desynchronize the sweep, the fuzzer,
-// and the fleet harness.
+// twin, ace and flex the RAD-compressed deployment model, and adaptive
+// ships both variants co-resident and picks runtime + variant per boot
+// (sched::AdaptivePolicy). Keys, model variants, and the runtime/policy
+// factories all come from ONE static table, so adding a runtime cannot
+// desynchronize the sweep, the fuzzer, the fleet harness, and the CLIs'
+// --list-runtimes output.
 const std::vector<std::string>& all_runtime_keys();
 
 // Runtime factory for those keys (the one name-to-runtime mapping, also
@@ -86,8 +88,13 @@ std::unique_ptr<flex::InferenceRuntime> make_runtime(const std::string& key);
 std::unique_ptr<flex::RuntimePolicy> make_policy(const std::string& key);
 
 // Whether a runtime key executes the RAD-compressed deployment model
-// (ace/flex) or the dense twin (base/sonic/tails).
+// (ace/flex) or the dense twin (base/sonic/tails). For adaptive this is
+// the PRIMARY image (compressed); the dense twin rides along co-resident.
 bool runtime_uses_compressed_model(const std::string& key);
+
+// Whether a runtime key is the per-boot scheduler (needs both model
+// variants provisioned — see sched/adaptive.h).
+bool runtime_is_adaptive(const std::string& key);
 
 // Runs every (runtime x task x scenario) combination, with
 // SweepOptions::jobs worker threads (cells are independent: shared state

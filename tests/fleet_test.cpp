@@ -1,6 +1,7 @@
 // Fleet harness (sim/fleet.h) and parallel sweep (SweepOptions::jobs):
-// the fleet steps N devices round-robin through the incremental executor
-// API, and the sweep must produce an identical matrix for any job count.
+// the fleet runs heterogeneous groups of duty-cycled devices through the
+// incremental executor API, and both the fleet and the sweep must produce
+// identical artifacts for any worker count.
 
 #include <gtest/gtest.h>
 
@@ -12,27 +13,34 @@
 namespace ehdnn::sim {
 namespace {
 
-FleetOptions tiny_fleet() {
-  FleetOptions o;
-  o.devices = 6;
-  o.task = models::Task::kMnist;
-  o.runtime = "flex";
+FleetConfig tiny_fleet() {
+  FleetConfig cfg;
   // Synthetic square harvest: no trace file dependency, every device
   // cycles power several times.
-  o.source = "square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5";
-  o.capacitance_f = 10e-6;
-  o.offset_spread_s = 0.02;  // spread across one square period
-  o.verbose = false;
-  return o;
+  cfg.source = "square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5";
+  cfg.offset_spread_s = 0.02;  // spread across one square period
+  FleetGroup g;
+  g.name = "tiny";
+  g.count = 6;
+  g.task = models::Task::kMnist;
+  g.agenda.runtime = "flex";
+  g.agenda.jobs = 1;
+  g.agenda.period_s = 0.05;
+  g.capacitance_f = 10e-6;
+  cfg.groups.push_back(g);
+  return cfg;
 }
 
 TEST(Fleet, CompletesAndAggregates) {
   const FleetReport r = run_fleet(tiny_fleet());
   ASSERT_EQ(r.devices.size(), 6u);
-  EXPECT_EQ(r.completed_count, 6);
-  EXPECT_EQ(r.dnf_count, 0);
-  EXPECT_EQ(r.starved_count, 0);
+  EXPECT_EQ(r.total_jobs, 6);
+  EXPECT_EQ(r.jobs_completed, 6);
+  EXPECT_EQ(r.jobs_dnf, 0);
+  EXPECT_EQ(r.jobs_starved, 0);
   EXPECT_DOUBLE_EQ(r.completion_rate, 1.0);
+  // No deadline in the agenda: every completed job counts as in-deadline.
+  EXPECT_EQ(r.jobs_in_deadline, 6);
   // Percentiles are order statistics of the same sample: monotone, and
   // the max bounds them all.
   EXPECT_LE(r.latency_p50_s, r.latency_p90_s);
@@ -40,7 +48,7 @@ TEST(Fleet, CompletesAndAggregates) {
   EXPECT_LE(r.latency_p99_s, r.latency_max_s);
   EXPECT_GT(r.latency_p50_s, 0.0);
   for (const auto& d : r.devices) {
-    EXPECT_TRUE(d.completed()) << "device " << d.device;
+    EXPECT_EQ(d.jobs_completed, 1) << "device " << d.device;
     // Round-robin actually interleaved: every run took many slices.
     EXPECT_GT(d.steps, 5) << "device " << d.device;
     EXPECT_GT(d.energy_j, 0.0);
@@ -53,36 +61,72 @@ TEST(Fleet, OffsetsShiftTheHarvestPhase) {
   for (std::size_t i = 1; i < r.devices.size(); ++i) {
     EXPECT_LT(r.devices[i - 1].offset_s, r.devices[i].offset_s);
   }
-  // ...and phase-shifted power means not every device sees the same
-  // off-time (device inputs differ too, but off-time is schedule-driven).
+  // ...and phase-shifted power means not every device finishes its job at
+  // the same staleness (inputs differ too, but timing is schedule-driven).
   bool any_difference = false;
   for (std::size_t i = 1; i < r.devices.size(); ++i) {
-    if (r.devices[i].off_s != r.devices[0].off_s) any_difference = true;
+    if (r.devices[i].jobs[0].staleness_s != r.devices[0].jobs[0].staleness_s) {
+      any_difference = true;
+    }
   }
   EXPECT_TRUE(any_difference) << "time offsets had no observable effect";
 }
 
-TEST(Fleet, DeterministicAcrossRuns) {
-  const FleetReport a = run_fleet(tiny_fleet());
-  const FleetReport b = run_fleet(tiny_fleet());
+TEST(Fleet, DeterministicAcrossRunsAndWorkerCounts) {
+  FleetRunOptions serial;
+  serial.jobs = 1;
+  FleetRunOptions parallel;
+  parallel.jobs = 3;
+  const FleetReport a = run_fleet(tiny_fleet(), serial);
+  const FleetReport b = run_fleet(tiny_fleet(), parallel);
+  const FleetReport c = run_fleet(tiny_fleet(), serial);
   ASSERT_EQ(a.devices.size(), b.devices.size());
-  for (std::size_t i = 0; i < a.devices.size(); ++i) {
-    EXPECT_EQ(a.devices[i].outcome, b.devices[i].outcome);
-    EXPECT_DOUBLE_EQ(a.devices[i].total_s, b.devices[i].total_s);
-    EXPECT_DOUBLE_EQ(a.devices[i].energy_j, b.devices[i].energy_j);
-    EXPECT_EQ(a.devices[i].reboots, b.devices[i].reboots);
-    EXPECT_EQ(a.devices[i].steps, b.devices[i].steps);
-  }
-  std::ostringstream ja, jb;
+  std::ostringstream ja, jb, jc;
   write_fleet_json(ja, a);
   write_fleet_json(jb, b);
-  EXPECT_EQ(ja.str(), jb.str());
+  write_fleet_json(jc, c);
+  EXPECT_EQ(ja.str(), jb.str()) << "FLEET.json must be byte-identical for any worker count";
+  EXPECT_EQ(ja.str(), jc.str()) << "FLEET.json must be byte-identical across reruns";
+}
+
+TEST(Fleet, DutyCycledAgendaReleasesOnSchedule) {
+  FleetConfig cfg = tiny_fleet();
+  cfg.groups[0].count = 2;
+  cfg.groups[0].agenda.jobs = 3;
+  cfg.groups[0].agenda.period_s = 0.5;  // generous: device idles between jobs
+  const FleetReport r = run_fleet(cfg);
+  for (const auto& d : r.devices) {
+    ASSERT_EQ(d.jobs.size(), 3u);
+    for (int j = 0; j < 3; ++j) {
+      const auto& jr = d.jobs[static_cast<std::size_t>(j)];
+      EXPECT_DOUBLE_EQ(jr.release_s, 0.5 * j);
+      EXPECT_GE(jr.start_s, jr.release_s);
+      EXPECT_GT(jr.finish_s, jr.start_s);
+      EXPECT_TRUE(jr.met_deadline);
+    }
+    // The square supply completes each MNIST job well inside 0.5 s, so
+    // later jobs start at their release instant, not back-to-back.
+    EXPECT_DOUBLE_EQ(d.jobs[1].start_s, d.jobs[1].release_s);
+  }
 }
 
 TEST(Fleet, RejectsUnknownRuntime) {
-  FleetOptions o = tiny_fleet();
-  o.runtime = "warp-drive";
-  EXPECT_THROW(run_fleet(o), Error);
+  FleetConfig cfg = tiny_fleet();
+  cfg.groups[0].agenda.runtime = "warp-drive";
+  EXPECT_THROW(run_fleet(cfg), Error);
+}
+
+TEST(Fleet, BaselinesRerunThePopulation) {
+  FleetRunOptions ropts;
+  ropts.baseline_runtimes = {"flex", "ace"};
+  const FleetReport r = run_fleet(tiny_fleet(), ropts);
+  ASSERT_EQ(r.baselines.size(), 2u);
+  EXPECT_EQ(r.baselines[0].runtime, "flex");
+  // The population already runs flex, so the flex baseline must agree.
+  EXPECT_EQ(r.baselines[0].jobs_completed, r.jobs_completed);
+  EXPECT_EQ(r.baselines[0].jobs_in_deadline, r.jobs_in_deadline);
+  EXPECT_EQ(r.baselines[1].runtime, "ace");
+  EXPECT_LE(r.baselines[1].jobs_completed, r.total_jobs);
 }
 
 TEST(Sweep, JobsCountDoesNotChangeTheMatrix) {
@@ -118,7 +162,13 @@ TEST(Sweep, RuntimeTableIsConsistent) {
     ASSERT_NE(policy, nullptr);
     EXPECT_EQ(rt->name(), policy->name()) << key;
     (void)runtime_uses_compressed_model(key);  // must not throw
+    (void)runtime_is_adaptive(key);
   }
+  // The per-boot scheduler is in the table (and only it is adaptive).
+  int adaptive_keys = 0;
+  for (const auto& key : all_runtime_keys()) adaptive_keys += runtime_is_adaptive(key);
+  EXPECT_EQ(adaptive_keys, 1);
+  EXPECT_TRUE(runtime_is_adaptive("adaptive"));
   EXPECT_THROW(make_runtime("nope"), Error);
   EXPECT_THROW(make_policy("nope"), Error);
   EXPECT_THROW(runtime_uses_compressed_model("nope"), Error);

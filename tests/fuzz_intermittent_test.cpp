@@ -21,6 +21,7 @@
 #include "power/continuous.h"
 #include "power/failure_schedule.h"
 #include "quant/quantize.h"
+#include "sched/adaptive.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
 
@@ -74,11 +75,17 @@ struct FuzzCase {
   int schedules;        // seeded schedules replayed
   std::uint64_t seed0;  // first seed; seeds are seed0 .. seed0+schedules-1
   double flex_v_warn = 2.45;  // default; varied to hit eager/late monitors
+  // Adaptive scheduler spec (sched::parse_adaptive_spec); null for the
+  // table default. The rich-stuck const forecaster with demote=1 makes
+  // nearly every schedule start on ACE and demote to FLEX at a failure
+  // boot — so brown-outs land exactly on runtime-switch boots.
+  const char* sched_spec = nullptr;
 };
 
 // >= 1000 schedules total, spread so every runtime sees every commit
-// protocol it implements (SONIC is dense-only) and FLEX additionally runs
-// with an eager (always-warning) and a late (never-warning) monitor.
+// protocol it implements (SONIC is dense-only), FLEX additionally runs
+// with an eager (always-warning) and a late (never-warning) monitor, and
+// the adaptive scheduler is forced through ACE->FLEX switch boots.
 constexpr FuzzCase kCases[] = {
     {"sonic", false, 250, 0x50000, 2.45},
     {"tails", false, 150, 0x51000, 2.45},
@@ -87,7 +94,17 @@ constexpr FuzzCase kCases[] = {
     {"flex", false, 100, 0x54000, 2.45},
     {"flex", true, 60, 0x55000, 3.5},     // eager: warns every cycle
     {"flex", true, 40, 0x56000, 2.2001},  // late: failures arrive unwarned
+    {"adaptive", true, 120, 0x57000, 2.45, "adaptive:fc=const,w=9,rich=5e-3,demote=1"},
+    {"adaptive", false, 80, 0x58000, 2.45, "adaptive:fc=const,w=9,rich=5e-3,demote=1"},
 };
+
+// Builds the case's runtime/policy honoring an adaptive spec override.
+std::unique_ptr<RuntimePolicy> make_case_policy(const FuzzCase& fc) {
+  if (fc.sched_spec != nullptr) {
+    return sched::make_adaptive_policy(sched::parse_adaptive_spec(fc.sched_spec));
+  }
+  return sim::make_policy(fc.runtime);
+}
 
 TEST(FuzzIntermittent, CoversAtLeastThousandSchedules) {
   int total = 0;
@@ -103,7 +120,7 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
   const auto qm = fc.bcm_model ? mixed_model(model_rng) : dense_model(model_rng);
   const auto input = quant::quantize_input(
       qm, random_tensor(qm.layers.front().in_shape, model_rng));
-  auto rt = sim::make_runtime(fc.runtime);
+  auto rt = flex::make_policy_runtime(make_case_policy(fc));
 
   RunOptions opts;
   opts.flex_v_warn = fc.flex_v_warn;
@@ -125,7 +142,7 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
   // drain — the incremental path the fleet harness uses, with the run
   // suspended between every slice. Both must match the continuous oracle
   // bit for bit and each other on every stat.
-  auto policy = sim::make_policy(fc.runtime);
+  auto policy = make_case_policy(fc);
 
   long total_failures = 0;
   for (int i = 0; i < fc.schedules; ++i) {
@@ -165,9 +182,21 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
   // The schedules must actually bite: on average multiple brown-outs per
   // run, or the fuzzer is testing nothing. (FLEX averages fewer than the
   // commit-heavy baselines because event-targeted triggers have far fewer
-  // commit events to aim at — that sparseness is FLEX's selling point.)
-  EXPECT_GT(total_failures, 3L * fc.schedules)
+  // commit events to aim at — that sparseness is FLEX's selling point.
+  // Adaptive runs average fewer still: their ACE boots announce no commit
+  // boundaries at all, so event triggers idle until the demotion lands.)
+  EXPECT_GT(total_failures, (fc.sched_spec != nullptr ? 2L : 3L) * fc.schedules)
       << fc.runtime << ": schedules injected too few failures";
+
+  // Adaptive cases exist to aim brown-outs at runtime-switch boots: the
+  // rich-stuck forecast must actually have produced switches, or the case
+  // degenerated into plain FLEX.
+  if (fc.sched_spec != nullptr) {
+    const auto* ap = sched::as_adaptive(policy.get());
+    ASSERT_NE(ap, nullptr);
+    EXPECT_GT(ap->tier_switches(), fc.schedules / 4)
+        << "adaptive case: too few runtime-switch boots exercised";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Schedules, CrashConsistency, ::testing::ValuesIn(kCases),
@@ -180,6 +209,74 @@ INSTANTIATE_TEST_SUITE_P(Schedules, CrashConsistency, ::testing::ValuesIn(kCases
                                               c.flex_v_warn * 1000.0));
                            return name;
                          });
+
+TEST(FuzzIntermittent, AdaptiveVariantSwitchesStayBitExact) {
+  // The provisioned scheduler ships BOTH model variants co-resident and
+  // may finish a job on either; the contract is bit-exactness against the
+  // COMPLETING variant's continuous-power output, for any failure
+  // schedule. The rich-stuck forecast with demote=1 drives ace -> flex at
+  // the first fruitless boot and flex -> sonic (the dense twin!) at any
+  // zero-progress cycle, so schedules hit both strategy- and
+  // variant-switch boots — including brown-outs landing mid-switch.
+  Rng model_rng(1234);
+  const auto qm_c = mixed_model(model_rng);
+  const auto qm_d = dense_model(model_rng);
+  const auto input = quant::quantize_input(
+      qm_c, random_tensor(qm_c.layers.front().in_shape, model_rng));
+
+  // Per-variant continuous oracles (any runtime: bit-exact per model).
+  std::vector<q15_t> oracle[2];  // [dense]
+  for (const bool dense : {false, true}) {
+    dev::Device dev;
+    power::ContinuousPower supply;
+    dev.attach_supply(&supply);
+    const auto cm = ace::compile(dense ? qm_d : qm_c, dev);
+    auto rt = make_flex_runtime();
+    const RunStats st = rt->infer(dev, cm, input);
+    ASSERT_TRUE(st.completed());
+    oracle[dense] = st.output;
+  }
+
+  auto policy = sched::make_adaptive_policy(
+      sched::parse_adaptive_spec("adaptive:fc=const,w=9,rich=5e-3,demote=1"));
+  auto* ap = dynamic_cast<sched::AdaptivePolicy*>(policy.get());
+  ASSERT_NE(ap, nullptr);
+
+  constexpr int kSchedules = 150;
+  int dense_completions = 0;
+  for (int i = 0; i < kSchedules; ++i) {
+    const std::uint64_t seed = 0x59000 + static_cast<std::uint64_t>(i);
+    dev::Device dev;
+    power::FailureScheduleSupply supply(seed);
+    dev.attach_supply(&supply);
+    const auto cm_c = ace::compile(qm_c, dev);
+    const auto cm_d = ace::compile(qm_d, dev, /*co_resident=*/true);
+    sched::DeploymentImage img;
+    img.compressed = &cm_c;
+    img.dense = &cm_d;
+    ap->provision(img);
+
+    IntermittentExecutor ex(*policy);
+    ex.start(dev, cm_c, input);
+    while (ex.step()) {
+    }
+    const RunStats& st = ex.stats();
+    ASSERT_TRUE(st.completed()) << "adaptive seed " << seed;
+    const bool dense = ap->on_dense_model();
+    dense_completions += dense;
+    ASSERT_EQ(st.output, oracle[dense])
+        << "adaptive diverged from the " << (dense ? "dense" : "compressed")
+        << " continuous oracle under schedule seed " << seed << " ("
+        << supply.failures() << " injected failures, tier " << ap->current_runtime() << ")";
+    EXPECT_EQ(st.reboots, supply.failures()) << "adaptive seed " << seed;
+  }
+
+  // The case must actually exercise variant switching: some schedules
+  // have to end on the dense twin (sonic demotions), most on compressed.
+  EXPECT_GT(dense_completions, 0) << "no schedule ever demoted to the dense twin";
+  EXPECT_LT(dense_completions, kSchedules) << "every schedule demoted — forecast broken?";
+  EXPECT_GT(ap->tier_switches(), kSchedules / 2);
+}
 
 TEST(FuzzIntermittent, ScheduleSupplyIsDeterministic) {
   // Same seed, same schedule: identical failure counts and timing.

@@ -1,0 +1,482 @@
+// The energy-aware scheduling subsystem (src/sched): harvest forecasting,
+// per-boot adaptive policy selection, duty-cycled job queues, and the
+// heterogeneous fleet config they plug into.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ace/compiled_model.h"
+#include "core/flex/executor.h"
+#include "core/flex/runtime.h"
+#include "nn/bcm_dense.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+#include "nn/simple_layers.h"
+#include "power/capacitor.h"
+#include "power/continuous.h"
+#include "power/factory.h"
+#include "power/failure_schedule.h"
+#include "power/monitor.h"
+#include "quant/quantize.h"
+#include "sched/adaptive.h"
+#include "sched/agenda.h"
+#include "sched/forecast.h"
+#include "sim/fleet.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace ehdnn::sched {
+namespace {
+
+using fx::q15_t;
+
+// ---------------------------------------------------------------- forecast
+
+TEST(Forecast, EmaConvergesTowardSamples) {
+  auto fc = make_ema_forecaster(1e-3, 0.5);
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), 1e-3);  // prior before any sample
+  for (int i = 0; i < 20; ++i) fc->record(5e-3);
+  EXPECT_NEAR(fc->forecast_w(), 5e-3, 1e-6);
+  EXPECT_EQ(fc->samples(), 20);
+  fc->reset();
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), 1e-3);
+  EXPECT_EQ(fc->samples(), 0);
+}
+
+TEST(Forecast, WindowIsMeanOfLastN) {
+  auto fc = make_window_forecaster(1e-3, 3);
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), 1e-3);
+  fc->record(1.0);
+  fc->record(2.0);
+  fc->record(3.0);
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), 2.0);
+  fc->record(7.0);  // evicts the 1.0
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), 4.0);
+}
+
+TEST(Forecast, ConstIgnoresSamples) {
+  auto fc = make_const_forecaster(2e-3);
+  fc->record(99.0);
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), 2e-3);
+}
+
+TEST(Forecast, FactoryParsesSpecs) {
+  EXPECT_EQ(make_forecaster("ema")->name(), "ema");
+  EXPECT_EQ(make_forecaster("ema:prior=2e-3,alpha=0.25")->name(), "ema");
+  EXPECT_EQ(make_forecaster("window:n=4")->name(), "window");
+  EXPECT_EQ(make_forecaster("const:w=1e-3")->name(), "const");
+  EXPECT_DOUBLE_EQ(make_forecaster("const:w=7e-3")->forecast_w(), 7e-3);
+  EXPECT_THROW(make_forecaster("oracle"), Error);
+  EXPECT_THROW(make_forecaster("ema:alpha=nope"), Error);
+  EXPECT_THROW(make_forecaster("ema:typo=1"), Error);
+  EXPECT_THROW(make_forecaster("window:n=0"), Error);
+  EXPECT_FALSE(forecaster_kinds().empty());
+}
+
+TEST(Forecast, AdaptiveSpecParses) {
+  const AdaptiveSpec def = parse_adaptive_spec("adaptive");
+  EXPECT_EQ(def.forecaster, "ema");
+  const AdaptiveSpec s =
+      parse_adaptive_spec("adaptive:fc=window,n=4,prior=2e-3,rich=5e-3,demote=3");
+  EXPECT_EQ(s.forecaster, "window:prior=2e-3,n=4");
+  EXPECT_DOUBLE_EQ(s.rich_w, 5e-3);
+  EXPECT_EQ(s.demote_boots, 3);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:bogus=1"), Error);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:demote=0"), Error);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:demote=1e30"), Error);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:demote=2.9"), Error);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:fc=window,n=1e300"), Error);
+  EXPECT_THROW(parse_adaptive_spec("sched"), Error);
+}
+
+// ------------------------------------------------------- adaptive policy
+
+nn::Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  nn::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-0.9, 0.9));
+  }
+  return t;
+}
+
+// Tiny "deployment" pair sharing one input shape: a BCM-compressed model
+// and its dense twin — the two variants an adaptive device ships.
+quant::QuantModel tiny_compressed(Rng& rng) {
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::MaxPool2D>();
+  m.add<nn::Flatten>();
+  m.add<nn::BcmDense>(2 * 4 * 4, 16, 16)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::Dense>(16, 4)->init(rng);
+  std::vector<nn::Tensor> calib;
+  for (int i = 0; i < 4; ++i) calib.push_back(random_tensor({1, 10, 10}, rng));
+  return quant::quantize(m, calib, {1, 10, 10});
+}
+
+quant::QuantModel tiny_dense(Rng& rng) {
+  nn::Model m;
+  m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::MaxPool2D>();
+  m.add<nn::Flatten>();
+  m.add<nn::Dense>(2 * 4 * 4, 16)->init(rng);
+  m.add<nn::ReLU>();
+  m.add<nn::Dense>(16, 4)->init(rng);
+  std::vector<nn::Tensor> calib;
+  for (int i = 0; i < 4; ++i) calib.push_back(random_tensor({1, 10, 10}, rng));
+  return quant::quantize(m, calib, {1, 10, 10});
+}
+
+// Continuous-power reference output for one model (any runtime: the
+// bit-exactness contract makes them all agree per model).
+std::vector<q15_t> continuous_oracle(const quant::QuantModel& qm,
+                                     const std::vector<q15_t>& input) {
+  dev::Device dev;
+  power::ContinuousPower supply;
+  dev.attach_supply(&supply);
+  const auto cm = ace::compile(qm, dev);
+  auto rt = flex::make_flex_runtime();
+  const flex::RunStats st = rt->infer(dev, cm, input);
+  EXPECT_TRUE(st.completed());
+  return st.output;
+}
+
+TEST(Adaptive, LeanPriorPicksFlexUnderContinuousPower) {
+  Rng rng(42);
+  const auto qm = tiny_compressed(rng);
+  const auto input =
+      quant::quantize_input(qm, random_tensor(qm.layers.front().in_shape, rng));
+  const auto oracle = continuous_oracle(qm, input);
+
+  // Default spec: prior 1.2 mW < rich 3 mW -> the flex tier.
+  auto policy = make_adaptive_policy();
+  dev::Device dev;
+  power::ContinuousPower supply;
+  dev.attach_supply(&supply);
+  const auto cm = ace::compile(qm, dev);
+  flex::IntermittentExecutor ex(*policy);
+  const flex::RunStats st = ex.run(dev, cm, input);
+
+  EXPECT_TRUE(st.completed());
+  EXPECT_EQ(st.output, oracle);
+  const auto* ap = as_adaptive(policy.get());
+  ASSERT_NE(ap, nullptr);
+  EXPECT_EQ(ap->current_runtime(), "flex");
+  EXPECT_EQ(ap->tier_switches(), 0);
+}
+
+TEST(Adaptive, RichForecastPromotesToAce) {
+  Rng rng(43);
+  const auto qm = tiny_compressed(rng);
+  const auto input =
+      quant::quantize_input(qm, random_tensor(qm.layers.front().in_shape, rng));
+
+  auto policy = make_adaptive_policy(parse_adaptive_spec("adaptive:fc=const,w=9,rich=5e-3"));
+  dev::Device dev;
+  power::ContinuousPower supply;
+  dev.attach_supply(&supply);
+  const auto cm = ace::compile(qm, dev);
+  flex::IntermittentExecutor ex(*policy);
+  const flex::RunStats st = ex.run(dev, cm, input);
+
+  EXPECT_TRUE(st.completed());
+  EXPECT_EQ(as_adaptive(policy.get())->current_runtime(), "ace");
+  // ACE has no checkpoint machinery: the run must not have paid for any.
+  EXPECT_EQ(st.checkpoints, 0);
+}
+
+TEST(Adaptive, TinyBurstForcesSonicOnTheDenseTwin) {
+  Rng rng(44);
+  const auto qm_c = tiny_compressed(rng);
+  const auto qm_d = tiny_dense(rng);
+  const auto input =
+      quant::quantize_input(qm_c, random_tensor(qm_c.layers.front().in_shape, rng));
+  const auto oracle_dense = continuous_oracle(qm_d, input);
+
+  auto policy = make_adaptive_policy();
+  dev::Device dev;
+  power::ContinuousPower supply;
+  dev.attach_supply(&supply);
+  const auto cm_c = ace::compile(qm_c, dev);
+  const auto cm_d = ace::compile(qm_d, dev, /*co_resident=*/true);
+  DeploymentImage img;
+  img.compressed = &cm_c;
+  img.dense = &cm_d;
+  img.burst_energy_j = 1e-9;  // cannot fund a single FLEX checkpoint
+  provision_adaptive(*policy, img);
+
+  flex::IntermittentExecutor ex(*policy);
+  const flex::RunStats st = ex.run(dev, cm_c, input);
+
+  EXPECT_TRUE(st.completed());
+  const auto* ap = as_adaptive(policy.get());
+  EXPECT_EQ(ap->current_runtime(), "sonic");
+  EXPECT_TRUE(ap->on_dense_model());
+  // The executor was armed with the compressed image but the run
+  // completed on the dense twin: the output_model hook must redirect.
+  EXPECT_EQ(st.output, oracle_dense);
+}
+
+TEST(Adaptive, MisforecastDemotesAceToFlexAndCompletes) {
+  // A forecaster stuck on "rich" starts every fresh boot on ACE; under a
+  // harvest that can never push a whole inference through one burst, the
+  // no-progress guard must demote to FLEX, which then finishes. Use the
+  // real MNIST deployment model: a burst covers only a fraction of it.
+  Rng rng(0xb0a710ad + 0);
+  const auto qm = models::make_deployed_qmodel(models::Task::kMnist, true, rng);
+  std::vector<q15_t> input(qm.layers.front().in_size());
+  for (auto& v : input) v = static_cast<q15_t>(rng.next_u64());
+
+  auto fixed_flex_run = [&](dev::Device& dev, const ace::CompiledModel& cm,
+                            const flex::RunOptions& opts) {
+    auto rt = flex::make_flex_runtime();
+    return rt->infer(dev, cm, input, opts);
+  };
+
+  const auto run_supply = [&](flex::RuntimePolicy* policy, bool* completed,
+                              std::vector<q15_t>* output, flex::RunOptions* opts_out) {
+    auto src = power::make_harvest_source("const:w=1.2e-3");
+    power::CapacitorConfig ccfg;
+    ccfg.capacitance_f = 10e-6;
+    power::CapacitorSupply supply(*src, ccfg);
+    dev::Device dev;
+    dev.attach_supply(&supply);
+    const auto cm = ace::compile(qm, dev);
+    flex::RunOptions opts;
+    opts.flex_v_warn = power::warn_voltage_for(
+        ccfg, flex::worst_checkpoint_energy(cm, dev.cost()) + 5e-6, 3.0);
+    if (opts_out != nullptr) *opts_out = opts;
+    if (policy == nullptr) {
+      const flex::RunStats st = fixed_flex_run(dev, cm, opts);
+      *completed = st.completed();
+      *output = st.output;
+      return;
+    }
+    flex::IntermittentExecutor ex(*policy);
+    const flex::RunStats st = ex.run(dev, cm, input, opts);
+    *completed = st.completed();
+    *output = st.output;
+  };
+
+  bool flex_ok = false;
+  std::vector<q15_t> flex_out;
+  run_supply(nullptr, &flex_ok, &flex_out, nullptr);
+  ASSERT_TRUE(flex_ok) << "fixture: fixed FLEX must complete this scenario";
+
+  auto policy =
+      make_adaptive_policy(parse_adaptive_spec("adaptive:fc=const,w=9,rich=5e-3,demote=2"));
+  bool ok = false;
+  std::vector<q15_t> out;
+  run_supply(policy.get(), &ok, &out, nullptr);
+  EXPECT_TRUE(ok);
+  const auto* ap = as_adaptive(policy.get());
+  EXPECT_EQ(ap->current_runtime(), "flex") << "mis-forecast must demote off ACE";
+  EXPECT_GE(ap->tier_switches(), 1);
+  EXPECT_EQ(out, flex_out) << "adaptive completing on the flex tier must be bit-exact";
+}
+
+TEST(Adaptive, ObservedIncomeFeedsTheForecaster) {
+  // Under an intermittent capacitor supply the recharge gaps are income
+  // samples; the forecaster must have folded some in by completion.
+  Rng rng(45);
+  const auto qm_c = tiny_compressed(rng);
+  const auto qm_d = tiny_dense(rng);
+  const auto input =
+      quant::quantize_input(qm_c, random_tensor(qm_c.layers.front().in_shape, rng));
+
+  auto policy = make_adaptive_policy();
+  auto src = power::make_harvest_source("square:hi=4e-3,lo=0.2e-3,period=0.005,duty=0.5");
+  power::CapacitorConfig ccfg;
+  ccfg.capacitance_f = 2e-6;
+  power::CapacitorSupply supply(*src, ccfg);
+  dev::Device dev;
+  dev.attach_supply(&supply);
+  const auto cm_c = ace::compile(qm_c, dev);
+  const auto cm_d = ace::compile(qm_d, dev, /*co_resident=*/true);
+  DeploymentImage img;
+  img.compressed = &cm_c;
+  img.dense = &cm_d;
+  img.burst_energy_j = supply.burst_energy();
+  provision_adaptive(*policy, img);
+
+  flex::RunOptions opts;
+  opts.flex_v_warn = power::warn_voltage_for(
+      ccfg, flex::worst_checkpoint_energy(cm_c, dev.cost()) + 5e-6, 3.0);
+  flex::IntermittentExecutor ex(*policy);
+  const flex::RunStats st = ex.run(dev, cm_c, input, opts);
+
+  EXPECT_TRUE(st.completed());
+  const auto* ap = as_adaptive(policy.get());
+  if (st.reboots > 0) {
+    EXPECT_GT(ap->forecaster().samples(), 0)
+        << "reboots happened but no income sample was recorded";
+  }
+}
+
+// ------------------------------------------------------------ job queue
+
+TEST(JobQueue, RunsTheAgendaAndScoresDeadlines) {
+  Rng rng(46);
+  const auto qm = tiny_compressed(rng);
+  power::ContinuousPower supply;
+  dev::Device dev;
+  dev.attach_supply(&supply);
+  const auto cm = ace::compile(qm, dev);
+
+  std::vector<std::vector<q15_t>> inputs;
+  for (int j = 0; j < 3; ++j) {
+    Rng in_rng(100 + static_cast<std::uint64_t>(j));
+    std::vector<q15_t> in(cm.model.layers.front().in_size());
+    for (auto& v : in) v = static_cast<q15_t>(in_rng.next_u64());
+    inputs.push_back(std::move(in));
+  }
+
+  auto policy = flex::make_flex_policy();
+  DeviceAgenda agenda;
+  agenda.runtime = "flex";
+  agenda.jobs = 3;
+  agenda.period_s = 0.05;
+  agenda.deadline_s = 0.04;
+  JobQueue q(dev, *policy, cm, {}, agenda, &inputs);
+
+  while (q.step()) {
+  }
+  ASSERT_TRUE(q.finished());
+  const auto& recs = q.records();
+  ASSERT_EQ(recs.size(), 3u);
+  for (int j = 0; j < 3; ++j) {
+    const auto& r = recs[static_cast<std::size_t>(j)];
+    EXPECT_EQ(r.job, j);
+    EXPECT_DOUBLE_EQ(r.release_s, 0.05 * j);
+    EXPECT_GE(r.start_s, r.release_s);
+    EXPECT_GT(r.finish_s, r.start_s);
+    EXPECT_TRUE(r.outcome == flex::Outcome::kCompleted);
+    EXPECT_DOUBLE_EQ(r.staleness_s, r.finish_s - r.release_s);
+    // The tiny model completes in well under 40 ms of device time on
+    // bench power, so every job meets its deadline...
+    EXPECT_TRUE(r.met_deadline) << "job " << j;
+    EXPECT_EQ(r.runtime, "flex");
+    // ...and starts exactly at its release (the device idles in between).
+    EXPECT_DOUBLE_EQ(r.start_s, r.release_s);
+  }
+}
+
+TEST(JobQueue, RejectsMalformedAgendas) {
+  Rng rng(47);
+  const auto qm = tiny_compressed(rng);
+  power::ContinuousPower supply;
+  dev::Device dev;
+  dev.attach_supply(&supply);
+  const auto cm = ace::compile(qm, dev);
+  std::vector<std::vector<q15_t>> inputs(1);
+  inputs[0].resize(cm.model.layers.front().in_size(), 0);
+  auto policy = flex::make_flex_policy();
+
+  DeviceAgenda zero_period;
+  zero_period.jobs = 1;
+  zero_period.period_s = 0.0;
+  EXPECT_THROW(JobQueue(dev, *policy, cm, {}, zero_period, &inputs), Error);
+
+  DeviceAgenda wrong_inputs;
+  wrong_inputs.jobs = 2;  // but only one input provided
+  EXPECT_THROW(JobQueue(dev, *policy, cm, {}, wrong_inputs, &inputs), Error);
+}
+
+// ----------------------------------------------------- fleet config file
+
+TEST(FleetConfig, ParsesHeterogeneousGroups) {
+  std::istringstream is(R"(# duty-cycled mixed population
+fleet source=square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5 spread=0.5 seed=0x123
+group name=rich count=4 task=mnist runtime=adaptive cap=20e-6 jobs=2 period=0.3 deadline=1.5 sched=adaptive:rich=2e-3
+group name=lean count=3 task=har runtime=flex cap=5e-6 jobs=1 period=0.4 max_off=10 reboots=5000 fram=300000
+)");
+  const sim::FleetConfig cfg = sim::parse_fleet_config(is);
+  EXPECT_EQ(cfg.seed, 0x123u);
+  EXPECT_DOUBLE_EQ(cfg.offset_spread_s, 0.5);
+  ASSERT_EQ(cfg.groups.size(), 2u);
+  EXPECT_EQ(cfg.groups[0].name, "rich");
+  EXPECT_EQ(cfg.groups[0].count, 4);
+  EXPECT_EQ(cfg.groups[0].task, models::Task::kMnist);
+  EXPECT_EQ(cfg.groups[0].agenda.runtime, "adaptive");
+  EXPECT_EQ(cfg.groups[0].agenda.jobs, 2);
+  EXPECT_DOUBLE_EQ(cfg.groups[0].agenda.period_s, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.groups[0].agenda.deadline_s, 1.5);
+  EXPECT_EQ(cfg.groups[0].sched_spec, "adaptive:rich=2e-3");
+  EXPECT_EQ(cfg.groups[1].task, models::Task::kHar);
+  EXPECT_DOUBLE_EQ(cfg.groups[1].capacitance_f, 5e-6);
+  EXPECT_EQ(cfg.groups[1].max_reboots, 5000);
+  EXPECT_EQ(cfg.groups[1].fram_words, 300000u);
+  EXPECT_EQ(cfg.total_devices(), 7);
+}
+
+TEST(FleetConfig, RejectsMalformedEntries) {
+  auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return sim::parse_fleet_config(is);
+  };
+  EXPECT_THROW(parse(""), Error);  // no groups
+  EXPECT_THROW(parse("group count=2 cap=-10e-6\n"), Error);       // negative capacitance
+  EXPECT_THROW(parse("group count=2 period=0\n"), Error);         // zero-period agenda
+  EXPECT_THROW(parse("group count=2 runtime=warp\n"), Error);     // unknown runtime key
+  EXPECT_THROW(parse("group count=2 task=sudoku\n"), Error);      // unknown task
+  EXPECT_THROW(parse("group count=0\n"), Error);                  // empty group
+  EXPECT_THROW(parse("group count=2 bogus=1\n"), Error);          // unknown key
+  EXPECT_THROW(parse("group count=2 cap\n"), Error);              // not key=value
+  EXPECT_THROW(parse("squadron count=2\n"), Error);               // unknown directive
+  EXPECT_THROW(parse("group count=2 count=3\n"), Error);          // duplicate key
+  EXPECT_THROW(parse("group count=2 jobs=2 period=x\n"), Error);  // bad number
+  // sched= on a fixed runtime is a config error, as is a bad spec.
+  EXPECT_THROW(parse("group count=1 runtime=flex sched=adaptive:rich=1\n"), Error);
+  EXPECT_THROW(parse("group count=1 runtime=adaptive sched=adaptive:nope=1\n"), Error);
+  // fleet line: at most once.
+  EXPECT_THROW(parse("fleet seed=1\nfleet seed=2\ngroup count=1\n"), Error);
+  // Integer keys are range-checked before the cast (no UB, no silent
+  // wraparound) and the seed must parse completely.
+  EXPECT_THROW(parse("group count=1 fram=-1\n"), Error);
+  EXPECT_THROW(parse("group count=1.5\n"), Error);
+  EXPECT_THROW(parse("group count=1e12\n"), Error);
+  EXPECT_THROW(parse("fleet seed=xyz\ngroup count=1\n"), Error);
+  EXPECT_THROW(parse("fleet seed=12oops\ngroup count=1\n"), Error);
+}
+
+// --------------------------------------------------- FLEET.json v2 schema
+
+TEST(FleetJson, V2SchemaGolden) {
+  sim::FleetConfig cfg;
+  cfg.source = "square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5";
+  cfg.offset_spread_s = 0.02;
+  sim::FleetGroup g;
+  g.name = "golden";
+  g.count = 2;
+  g.agenda.runtime = "flex";
+  g.agenda.jobs = 2;
+  g.agenda.period_s = 0.3;
+  g.agenda.deadline_s = 0.25;
+  cfg.groups.push_back(g);
+  sim::FleetRunOptions ropts;
+  ropts.baseline_runtimes = {"ace"};
+  const sim::FleetReport r = sim::run_fleet(cfg, ropts);
+
+  std::ostringstream os;
+  sim::write_fleet_json(os, r);
+  const std::string j = os.str();
+  // Schema marker and every v2 field family must be present.
+  for (const char* needle :
+       {"\"schema\": \"ehdnn-fleet-v2\"", "\"groups\":", "\"aggregate\":", "\"baselines\":",
+        "\"per_device\":", "\"total_jobs\":", "\"in_deadline\":", "\"deadline_rate\":",
+        "\"latency_p50_s\":", "\"latency_p99_s\":", "\"staleness_p50_s\":",
+        "\"staleness_p99_s\":", "\"tier_switches\":", "\"jobs\": [", "\"release_s\":",
+        "\"staleness_s\":", "\"met_deadline\":", "\"outcome\":", "\"period_s\":",
+        "\"deadline_s\":", "\"jobs_in_deadline\":", "\"runtime\": \"ace\""}) {
+    EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle;
+  }
+  // v1 is gone.
+  EXPECT_EQ(j.find("ehdnn-fleet-v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ehdnn::sched

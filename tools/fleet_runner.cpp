@@ -1,36 +1,36 @@
-// Fleet-simulation CLI: steps N independent intermittent devices
-// round-robin against time-offset views of one harvest environment and
-// writes FLEET.json (schema ehdnn-fleet-v1; see BENCHMARKS.md "Fleet").
-// Run from the repo root so the default trace path resolves:
+// Fleet-simulation CLI: runs a population of independent intermittent
+// devices — homogeneous via flags, heterogeneous and duty-cycled via a
+// fleet config file — against time-offset views of one harvest
+// environment, and writes FLEET.json (schema ehdnn-fleet-v2; see
+// BENCHMARKS.md "Fleet"). Run from the repo root so trace paths resolve:
 //
 //   ./build/fleet_runner --out FLEET.json               # 64-dev office RF
+//   ./build/fleet_runner --config configs/fleet_hetero.cfg --jobs 4
+//   ./build/fleet_runner --config configs/fleet_hetero.cfg --compare-fixed
 //   ./build/fleet_runner --devices 256 --task har --runtime tails
-//   ./build/fleet_runner --source "rf:base=0.2e-3,burst=6e-3,rate=40,dur=4e-3"
+//   ./build/fleet_runner --list-runtimes
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 
+#include "power/factory.h"
 #include "sim/fleet.h"
+#include "sim/scenario.h"
 #include "util/check.h"
 
 namespace {
 
 using namespace ehdnn;
 
-models::Task parse_task(const std::string& name) {
-  if (name == "mnist") return models::Task::kMnist;
-  if (name == "har") return models::Task::kHar;
-  if (name == "okg") return models::Task::kOkg;
-  fail("fleet_runner: unknown task \"" + name + "\" (mnist|har|okg)");
-}
-
 int usage() {
-  std::fprintf(stderr,
-               "usage: fleet_runner [--out FILE] [--devices N] [--task mnist|har|okg]\n"
-               "         [--runtime base|ace|sonic|tails|flex] [--source SPEC]\n"
-               "         [--cap FARADS] [--max-off S] [--spread S] [--seed N] [--quiet]\n");
+  std::fprintf(
+      stderr,
+      "usage: fleet_runner [--out FILE] [--config FILE] [--jobs N] [--compare-fixed]\n"
+      "         [--devices N] [--task mnist|har|okg] [--runtime KEY] [--source SPEC]\n"
+      "         [--cap FARADS] [--max-off S] [--njobs N] [--period S] [--deadline S]\n"
+      "         [--spread S] [--seed N] [--quiet] [--list-runtimes] [--list-sources]\n");
   return 2;
 }
 
@@ -38,8 +38,18 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string out_path = "FLEET.json";
-  sim::FleetOptions opts;
-  opts.verbose = true;
+  std::string config_path;
+  sim::FleetRunOptions ropts;
+  ropts.verbose = true;
+  bool compare_fixed = false;
+
+  // Homogeneous flag-built config; mutually exclusive with --config (a
+  // silently ignored --seed or --devices would be worse than an error).
+  sim::FleetGroup flag_group;
+  flag_group.name = "fleet";
+  flag_group.count = 64;
+  sim::FleetConfig flag_cfg;
+  const char* population_flag = nullptr;  // last population flag seen
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,35 +62,96 @@ int main(int argc, char** argv) {
     };
     if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--config") {
+      config_path = next();
+    } else if (arg == "--jobs") {
+      ropts.jobs = std::atoi(next());
+      if (ropts.jobs < 1) {
+        std::fprintf(stderr, "fleet_runner: --jobs needs a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--compare-fixed") {
+      compare_fixed = true;
     } else if (arg == "--devices") {
-      opts.devices = std::atoi(next());
-      if (opts.devices < 1) {
+      population_flag = "--devices";
+      flag_group.count = std::atoi(next());
+      if (flag_group.count < 1) {
         std::fprintf(stderr, "fleet_runner: --devices needs a positive integer\n");
         return 2;
       }
     } else if (arg == "--task") {
-      opts.task = parse_task(next());
+      population_flag = "--task";
+      try {
+        flag_group.task = models::parse_task(next());
+      } catch (const Error& e) {
+        std::fprintf(stderr, "fleet_runner: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--runtime") {
-      opts.runtime = next();
+      population_flag = "--runtime";
+      flag_group.agenda.runtime = next();
     } else if (arg == "--source") {
-      opts.source = next();
+      population_flag = "--source";
+      flag_cfg.source = next();
     } else if (arg == "--cap") {
-      opts.capacitance_f = std::atof(next());
+      population_flag = "--cap";
+      flag_group.capacitance_f = std::atof(next());
     } else if (arg == "--max-off") {
-      opts.max_off_s = std::atof(next());
+      population_flag = "--max-off";
+      flag_group.max_off_s = std::atof(next());
+    } else if (arg == "--njobs") {
+      population_flag = "--njobs";
+      flag_group.agenda.jobs = std::atoi(next());
+    } else if (arg == "--period") {
+      population_flag = "--period";
+      flag_group.agenda.period_s = std::atof(next());
+    } else if (arg == "--deadline") {
+      population_flag = "--deadline";
+      flag_group.agenda.deadline_s = std::atof(next());
     } else if (arg == "--spread") {
-      opts.offset_spread_s = std::atof(next());
+      population_flag = "--spread";
+      flag_cfg.offset_spread_s = std::atof(next());
     } else if (arg == "--seed") {
-      opts.seed = std::strtoull(next(), nullptr, 0);
+      population_flag = "--seed";
+      flag_cfg.seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--quiet") {
-      opts.verbose = false;
+      ropts.verbose = false;
+    } else if (arg == "--list-runtimes") {
+      for (const auto& k : sim::all_runtime_keys()) std::printf("%s\n", k.c_str());
+      return 0;
+    } else if (arg == "--list-sources") {
+      for (const auto& k : power::harvest_source_kinds()) std::printf("%s\n", k.c_str());
+      return 0;
     } else {
       return usage();
     }
   }
 
+  if (!config_path.empty() && population_flag != nullptr) {
+    std::fprintf(stderr,
+                 "fleet_runner: %s conflicts with --config (the population comes from the "
+                 "config file; edit it instead)\n",
+                 population_flag);
+    return 2;
+  }
+
   try {
-    const sim::FleetReport r = sim::run_fleet(opts);
+    sim::FleetConfig cfg;
+    if (!config_path.empty()) {
+      cfg = sim::parse_fleet_config_file(config_path);
+    } else {
+      flag_cfg.groups.push_back(flag_group);
+      cfg = flag_cfg;
+    }
+    if (compare_fixed) {
+      // Every fixed key from the runtime table (the adaptive key is the
+      // subject, not a baseline).
+      for (const auto& k : sim::all_runtime_keys()) {
+        if (!sim::runtime_is_adaptive(k)) ropts.baseline_runtimes.push_back(k);
+      }
+    }
+
+    const sim::FleetReport r = sim::run_fleet(cfg, ropts);
 
     std::ofstream f(out_path);
     if (!f.good()) {
@@ -89,11 +160,15 @@ int main(int argc, char** argv) {
     }
     sim::write_fleet_json(f, r);
     std::fprintf(stderr,
-                 "fleet_runner: %d devices -> %d completed (%.1f%%), %d dnf, %d starved; "
-                 "latency p50 %.4fs p90 %.4fs p99 %.4fs -> %s\n",
-                 opts.devices, r.completed_count, 100.0 * r.completion_rate, r.dnf_count,
-                 r.starved_count, r.latency_p50_s, r.latency_p90_s, r.latency_p99_s,
-                 out_path.c_str());
+                 "fleet_runner: %d devices, %d jobs -> %d completed (%.1f%%), %d in "
+                 "deadline (%.1f%%); latency p50 %.4fs p90 %.4fs p99 %.4fs -> %s\n",
+                 cfg.total_devices(), r.total_jobs, r.jobs_completed,
+                 100.0 * r.completion_rate, r.jobs_in_deadline, 100.0 * r.deadline_rate,
+                 r.latency_p50_s, r.latency_p90_s, r.latency_p99_s, out_path.c_str());
+    for (const auto& b : r.baselines) {
+      std::fprintf(stderr, "fleet_runner: baseline %-8s %d completed, %d in deadline\n",
+                   b.runtime.c_str(), b.jobs_completed, b.jobs_in_deadline);
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "fleet_runner: %s\n", e.what());
     return 1;

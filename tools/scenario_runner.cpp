@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "power/factory.h"
 #include "sim/scenario.h"
 #include "util/check.h"
 
@@ -36,13 +37,6 @@ std::vector<std::string> split_csv(const std::string& s) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
-}
-
-models::Task parse_task(const std::string& name) {
-  if (name == "mnist") return models::Task::kMnist;
-  if (name == "har") return models::Task::kHar;
-  if (name == "okg") return models::Task::kOkg;
-  fail("scenario_runner: unknown task \"" + name + "\" (mnist|har|okg)");
 }
 
 std::vector<sim::ScenarioSpec> default_scenarios(bool with_traces) {
@@ -69,9 +63,10 @@ std::vector<sim::ScenarioSpec> default_scenarios(bool with_traces) {
 int usage() {
   std::fprintf(stderr,
                "usage: scenario_runner [--out FILE] [--tasks mnist,har,okg]\n"
-               "         [--runtimes base,ace,sonic,tails,flex]\n"
+               "         [--runtimes base,ace,sonic,tails,flex,adaptive]\n"
                "         [--scenario NAME=SPEC[;cap=F][;max_off=S][;reboots=N]]...\n"
-               "         [--jobs N] [--no-traces] [--smoke] [--quiet]\n");
+               "         [--jobs N] [--no-traces] [--smoke] [--smoke-sched] [--quiet]\n"
+               "         [--list-runtimes] [--list-sources]\n");
   return 2;
 }
 
@@ -83,6 +78,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> runtimes = sim::all_runtime_keys();
   std::vector<sim::ScenarioSpec> scenarios;
   bool smoke = false;
+  bool smoke_sched = false;
   bool with_traces = true;
   sim::SweepOptions opts;
   opts.verbose = true;
@@ -100,7 +96,12 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--tasks") {
       tasks.clear();
-      for (const auto& t : split_csv(next())) tasks.push_back(parse_task(t));
+      try {
+        for (const auto& t : split_csv(next())) tasks.push_back(models::parse_task(t));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--runtimes") {
       runtimes = split_csv(next());
     } else if (arg == "--scenario") {
@@ -115,14 +116,32 @@ int main(int argc, char** argv) {
       with_traces = false;
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--smoke-sched") {
+      smoke_sched = true;
     } else if (arg == "--quiet") {
       opts.verbose = false;
+    } else if (arg == "--list-runtimes") {
+      for (const auto& k : sim::all_runtime_keys()) std::printf("%s\n", k.c_str());
+      return 0;
+    } else if (arg == "--list-sources") {
+      for (const auto& k : power::harvest_source_kinds()) std::printf("%s\n", k.c_str());
+      return 0;
     } else {
       return usage();
     }
   }
 
-  if (smoke) {
+  if (smoke_sched) {
+    // Scheduling smoke (ctest sched_smoke, run from the repo root): the
+    // adaptive runtime swept against ace/flex over a replayed trace and
+    // an ACE-hostile one. Expectations asserted below.
+    tasks = {models::Task::kMnist};
+    runtimes = {"ace", "flex", "adaptive"};
+    scenarios = {
+        sim::parse_scenario_arg("solar-cloudy=trace:path=traces/solar_cloudy.csv"),
+        sim::parse_scenario_arg("office-rf=trace:path=traces/rf_office.csv"),
+    };
+  } else if (smoke) {
     tasks = {models::Task::kMnist};
     runtimes = {"ace", "flex"};
     scenarios = {
@@ -161,6 +180,28 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::fprintf(stderr, "scenario_runner: smoke ok (flex completes, ace DNFs)\n");
+    }
+
+    if (smoke_sched) {
+      // ctest gate: the per-boot scheduler must complete every trace
+      // scenario FLEX completes (it can always degrade to the FLEX
+      // tier), including office-rf where plain ACE DNFs.
+      bool adaptive_all = true, flex_all = true, ace_office_dnf = false;
+      for (const auto& c : m.cells) {
+        if (c.runtime == "adaptive") adaptive_all = adaptive_all && c.completed();
+        if (c.runtime == "flex") flex_all = flex_all && c.completed();
+        if (c.runtime == "ace" && c.scenario == "office-rf") ace_office_dnf = !c.completed();
+      }
+      if (!adaptive_all || !flex_all || !ace_office_dnf) {
+        std::fprintf(stderr,
+                     "scenario_runner: sched smoke expectations FAILED "
+                     "(adaptive all=%d, flex all=%d, ace office-rf dnf=%d)\n",
+                     adaptive_all, flex_all, ace_office_dnf);
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "scenario_runner: sched smoke ok (adaptive completes everywhere "
+                   "flex does; ace DNFs office-rf)\n");
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "scenario_runner: %s\n", e.what());
