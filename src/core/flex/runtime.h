@@ -35,6 +35,7 @@
 // The InferenceRuntime interface below is the classic one-call wrapper.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -85,6 +86,13 @@ struct RunOptions {
   // checkpoint (power::warn_voltage_for computes it from the capacitor
   // parameters and worst_checkpoint_energy below).
   double flex_v_warn = 2.45;
+  // Job context, visible to policies through StepContext::opts: the
+  // absolute supply-time instant this inference is due (infinity = no
+  // deadline). The executor itself never reads it — it exists so a
+  // scheduling policy (sched::AdaptivePolicy under sel=deadline) can pick
+  // its tier against the time actually remaining. sched::JobQueue fills
+  // it from the agenda at every release.
+  double deadline_s = std::numeric_limits<double>::infinity();
 };
 
 // Worst-case FLEX checkpoint cost for a compiled model on this device —

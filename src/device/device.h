@@ -44,6 +44,7 @@ class Device {
   // power: nothing ever fails.
   void attach_supply(PowerSupply* supply) { supply_ = supply; }
   PowerSupply* supply() { return supply_; }
+  const PowerSupply* supply() const { return supply_; }
 
   MemoryRegion& sram() { return sram_; }
   MemoryRegion& fram() { return fram_; }
@@ -54,6 +55,10 @@ class Device {
   EnergyTrace& trace() { return trace_; }
   const EnergyTrace& trace() const { return trace_; }
   const CostModel& cost() const { return cfg_.cost; }
+  // The construction-time geometry/cost configuration — what a scratch
+  // replica of this device must be built from (the scheduler's
+  // completion-model calibration runs on such replicas).
+  const DeviceConfig& config() const { return cfg_; }
 
   double elapsed_cycles() const { return trace_.total_cycles(); }
   double elapsed_seconds() const { return cfg_.cost.seconds(trace_.total_cycles()); }

@@ -1,5 +1,10 @@
 #include "sched/agenda.h"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
 #include "sched/adaptive.h"
 #include "util/check.h"
 
@@ -26,14 +31,77 @@ JobQueue::JobQueue(dev::Device& dev, flex::RuntimePolicy& policy,
   arm_next();
 }
 
+bool JobQueue::should_skip(double* reclaimed_j) {
+  AdaptivePolicy* ap = as_adaptive(policy_);
+  if (ap == nullptr || ap->spec().admit != Admission::kBudget) return false;
+  if (!std::isfinite(agenda_.deadline_s)) return false;
+  // No observed income yet means no evidence: never refuse a release on
+  // the prior alone.
+  if (ap->forecaster().samples() == 0) return false;
+  // Two-stage admission. Stage one — CERTAIN skips: the time budget left
+  // is below the fastest tier's continuous-power time, so the release
+  // cannot meet its deadline even if the harvester delivered unbounded
+  // income (this is what sheds a backlog of already-late releases after
+  // a long outage). Pure calibrated cost model, no forecast involved;
+  // the 0.9 margin absorbs the input-dependence of modeled FFT scaling.
+  const double budget_s =
+      release_s_ + agenda_.deadline_s + ap->spec().admit_slack_s - start_s_;
+  if (budget_s < 0.9 * ap->predict_optimistic_s(*dev_, *primary_)) {
+    *reclaimed_j = ap->reclaimable_energy_j();
+    return true;
+  }
+  // Stage two — FORECAST skips: the predicted completion under the
+  // income curve misses the budget. Forecasts can be wrong, so this
+  // stage only fires once the periodic forecaster has CONFIRMED a
+  // period, and the probe valve admits every probe_skips-th consecutive
+  // skip regardless (skipped releases record no samples; probing bounds
+  // how long a stale forecast can refuse work).
+  if (ap->forecaster().period_s() <= 0.0) return false;
+  if (consecutive_skips_ >= ap->spec().probe_skips) return false;
+  const double predicted = ap->predict_best_completion_s(*dev_, *primary_);
+  if (std::getenv("EHDNN_ADMIT_DEBUG") != nullptr) {
+    std::fprintf(stderr, "admit? rel %.3f start %.3f pred %.4f fcast %.5g period %.4g\n",
+                 release_s_, start_s_, predicted, ap->forecaster().forecast_w(),
+                 ap->forecaster().period_s());
+  }
+  if (predicted <= budget_s) return false;
+  *reclaimed_j = ap->reclaimable_energy_j();
+  return true;
+}
+
 void JobQueue::arm_next() {
-  const int j = static_cast<int>(records_.size());
-  release_s_ = static_cast<double>(j) * agenda_.period_s;
-  dev::PowerSupply& supply = *dev_->supply();
-  // Park until release: income accrues, nothing is drawn.
-  if (supply.now() < release_s_) supply.idle_until(release_s_);
-  start_s_ = supply.now();
-  ex_.start(*dev_, *primary_, (*inputs_)[static_cast<std::size_t>(j)], opts_);
+  while (true) {
+    const int j = static_cast<int>(records_.size());
+    release_s_ = static_cast<double>(j) * agenda_.period_s;
+    dev::PowerSupply& supply = *dev_->supply();
+    // Park until release: income accrues, nothing is drawn.
+    if (supply.now() < release_s_) supply.idle_until(release_s_);
+    start_s_ = supply.now();
+    opts_.deadline_s = std::isfinite(agenda_.deadline_s)
+                           ? release_s_ + agenda_.deadline_s
+                           : std::numeric_limits<double>::infinity();
+    double reclaimed_j = 0.0;
+    if (!should_skip(&reclaimed_j)) {
+      consecutive_skips_ = 0;
+      ex_.start(*dev_, *primary_, (*inputs_)[static_cast<std::size_t>(j)], opts_);
+      return;
+    }
+    // Infeasible release: record the verdict without booting the run.
+    ++consecutive_skips_;
+    JobRecord r;
+    r.job = j;
+    r.release_s = release_s_;
+    r.start_s = start_s_;
+    r.finish_s = start_s_;
+    r.skipped_infeasible = true;
+    r.energy_reclaimed_j = reclaimed_j;
+    r.runtime = agenda_.runtime;
+    records_.push_back(std::move(r));
+    if (static_cast<int>(records_.size()) >= agenda_.jobs) {
+      done_ = true;
+      return;
+    }
+  }
 }
 
 void JobQueue::record_finished() {
@@ -70,8 +138,8 @@ bool JobQueue::step() {
     done_ = true;
     return false;
   }
-  arm_next();
-  return true;
+  arm_next();  // may finish the agenda by skipping every remaining release
+  return !done_;
 }
 
 }  // namespace ehdnn::sched

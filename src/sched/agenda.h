@@ -12,6 +12,13 @@
 // charging the capacitor but nothing is drawn. Staleness is
 // finish - release — what the paper's intermittent-latency numbers
 // become once inference is recurring rather than one-shot.
+//
+// Under an adaptive policy with admit=budget the queue also runs
+// energy-budgeted admission: a release whose best-tier predicted
+// completion (sched::CompletionModel) misses the deadline by more than
+// the configured slack is recorded as skipped_infeasible instead of
+// burning the capacitor on a doomed run — the charge survives for the
+// next release, which is how skipping can only help later deadlines.
 #pragma once
 
 #include <limits>
@@ -40,6 +47,15 @@ struct JobRecord {
   double staleness_s = 0.0;  // finish - release (the deadline clock)
   flex::Outcome outcome = flex::Outcome::kDidNotFinish;
   bool met_deadline = false;  // completed && staleness <= deadline
+  // Energy-budgeted admission refused this release: the best tier's
+  // predicted completion missed the deadline by more than the configured
+  // slack, so the run never started and the capacitor kept its charge for
+  // the next release. Reported as the per-job verdict
+  // "skipped_infeasible" in the FLEET v3 schema.
+  bool skipped_infeasible = false;
+  // Lower bound on the energy the skipped run would have burned (the
+  // cheapest calibrated tier's per-inference energy); 0 for run jobs.
+  double energy_reclaimed_j = 0.0;
   std::string runtime;        // completing tier (adaptive) or the fixed key
   long reboots = 0;
   long checkpoints = 0;
@@ -69,6 +85,10 @@ class JobQueue {
  private:
   void arm_next();
   void record_finished();
+  // Energy-budgeted admission (adaptive policies with admit=budget): true
+  // when the just-released job should be skipped because the best tier's
+  // predicted completion misses the deadline by more than the slack.
+  bool should_skip(double* reclaimed_j);
 
   dev::Device* dev_;
   flex::RuntimePolicy* policy_;
@@ -83,6 +103,7 @@ class JobQueue {
   double start_s_ = 0.0;
   long last_switches_ = 0;
   long steps_ = 0;
+  int consecutive_skips_ = 0;  // admission probe valve (see should_skip)
   bool done_ = false;
 };
 

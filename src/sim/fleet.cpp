@@ -299,12 +299,23 @@ FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts) {
         for (auto& v : input) v = static_cast<fx::q15_t>(in_rng.next_u64());
       }
 
-      if (adaptive) {
-        fd.policy = g.sched_spec.empty()
-                        ? sched::make_adaptive_policy()
-                        : sched::make_adaptive_policy(sched::parse_adaptive_spec(g.sched_spec));
+      if (adaptive && !g.sched_spec.empty()) {
+        sched::AdaptiveSpec aspec = sched::parse_adaptive_spec(g.sched_spec);
+        if (ropts.force_admit_all) aspec.admit = sched::Admission::kAll;
+        fd.policy = sched::make_adaptive_policy(std::move(aspec));
       } else {
+        // The runtime table's own factory — which for the adaptive keys
+        // already carries the key's default spec (income ladder for
+        // "adaptive", deadline selection for "adaptive-deadline").
         fd.policy = make_policy(g.agenda.runtime);
+        if (ropts.force_admit_all) {
+          if (auto* ap = sched::as_adaptive(fd.policy.get());
+              ap != nullptr && ap->spec().admit == sched::Admission::kBudget) {
+            sched::AdaptiveSpec aspec = ap->spec();
+            aspec.admit = sched::Admission::kAll;
+            fd.policy = sched::make_adaptive_policy(std::move(aspec));
+          }
+        }
       }
       const double worst_ck = sched::provision_deployment(
           *fd.policy, fd.device.cost(), fd.cm_primary,
@@ -368,23 +379,32 @@ FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts) {
       res.reboots += j.reboots;
       res.tier_switches += j.tier_switches;
       res.energy_j += j.energy_j;
-      switch (j.outcome) {
-        case flex::Outcome::kCompleted:
-          ++res.jobs_completed;
-          latencies.push_back(j.latency_s);
-          stalenesses.push_back(j.staleness_s);
-          break;
-        case flex::Outcome::kDidNotFinish:
-          ++r.jobs_dnf;
-          break;
-        case flex::Outcome::kStarved:
-          ++r.jobs_starved;
-          break;
+      if (j.skipped_infeasible) {
+        // An admission-refused release never ran: its verdict is its own
+        // bucket, not a DNF.
+        ++res.jobs_skipped;
+        res.energy_reclaimed_j += j.energy_reclaimed_j;
+      } else {
+        switch (j.outcome) {
+          case flex::Outcome::kCompleted:
+            ++res.jobs_completed;
+            latencies.push_back(j.latency_s);
+            stalenesses.push_back(j.staleness_s);
+            break;
+          case flex::Outcome::kDidNotFinish:
+            ++r.jobs_dnf;
+            break;
+          case flex::Outcome::kStarved:
+            ++r.jobs_starved;
+            break;
+        }
       }
       if (j.met_deadline) ++res.jobs_in_deadline;
     }
     r.jobs_completed += res.jobs_completed;
     r.jobs_in_deadline += res.jobs_in_deadline;
+    r.jobs_skipped += res.jobs_skipped;
+    r.energy_reclaimed_j += res.energy_reclaimed_j;
     r.total_reboots += res.reboots;
     r.total_tier_switches += res.tier_switches;
     r.total_energy_j += res.energy_j;
@@ -435,12 +455,26 @@ FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts) {
                    key.c_str(), br.jobs_completed, br.jobs_in_deadline);
     }
   }
+
+  // Admission comparison: the same population with energy-budgeted
+  // admission forced off — every release runs, doomed or not.
+  if (ropts.compare_admission) {
+    FleetRunOptions ao;
+    ao.jobs = ropts.jobs;
+    ao.force_admit_all = true;
+    const FleetReport ar = run_fleet(cfg, ao);
+    r.admission_baseline.push_back({"admit=all", ar.jobs_completed, ar.jobs_in_deadline});
+    if (ropts.verbose) {
+      std::fprintf(stderr, "fleet admit=all baseline: %d jobs completed, %d in deadline\n",
+                   ar.jobs_completed, ar.jobs_in_deadline);
+    }
+  }
   return r;
 }
 
 void write_fleet_json(std::ostream& os, const FleetReport& r) {
   const FleetConfig& c = r.config;
-  os << "{\n  \"schema\": \"ehdnn-fleet-v2\",\n";
+  os << "{\n  \"schema\": \"ehdnn-fleet-v3\",\n";
   os << "  \"seed\": " << c.seed << ",\n";
   os << "  \"source\": " << json_str(c.source) << ",\n";
   os << "  \"offset_spread_s\": " << c.offset_spread_s << ",\n";
@@ -461,6 +495,8 @@ void write_fleet_json(std::ostream& os, const FleetReport& r) {
   os << "    \"total_jobs\": " << r.total_jobs << ", \"completed\": " << r.jobs_completed
      << ", \"in_deadline\": " << r.jobs_in_deadline << ", \"dnf\": " << r.jobs_dnf
      << ", \"starved\": " << r.jobs_starved << ",\n";
+  os << "    \"admission\": {\"skipped_infeasible\": " << r.jobs_skipped
+     << ", \"energy_reclaimed_j\": " << r.energy_reclaimed_j << "},\n";
   os << "    \"completion_rate\": " << r.completion_rate
      << ", \"deadline_rate\": " << r.deadline_rate << ",\n";
   os << "    \"latency_p50_s\": " << r.latency_p50_s << ", \"latency_p90_s\": "
@@ -480,6 +516,15 @@ void write_fleet_json(std::ostream& os, const FleetReport& r) {
        << (i + 1 < r.baselines.size() ? ",\n" : "\n  ");
   }
   os << "],\n";
+  os << "  \"admission_baseline\": [";
+  for (std::size_t i = 0; i < r.admission_baseline.size(); ++i) {
+    const FleetBaseline& b = r.admission_baseline[i];
+    os << (i == 0 ? "\n" : "") << "    {\"mode\": " << json_str(b.runtime)
+       << ", \"jobs_completed\": " << b.jobs_completed
+       << ", \"jobs_in_deadline\": " << b.jobs_in_deadline << "}"
+       << (i + 1 < r.admission_baseline.size() ? ",\n" : "\n  ");
+  }
+  os << "],\n";
   os << "  \"per_device\": [\n";
   for (std::size_t i = 0; i < r.devices.size(); ++i) {
     const FleetDeviceResult& d = r.devices[i];
@@ -488,22 +533,28 @@ void write_fleet_json(std::ostream& os, const FleetReport& r) {
        << ", \"runtime\": " << json_str(d.runtime)
        << ", \"capacitance_f\": " << d.capacitance_f << ",\n     \"jobs_completed\": "
        << d.jobs_completed << ", \"jobs_in_deadline\": " << d.jobs_in_deadline
+       << ", \"jobs_skipped\": " << d.jobs_skipped
        << ", \"reboots\": " << d.reboots << ", \"tier_switches\": " << d.tier_switches
        << ", \"energy_j\": " << d.energy_j << ", \"steps\": " << d.steps << ",\n";
     os << "     \"jobs\": [\n";
     for (std::size_t j = 0; j < d.jobs.size(); ++j) {
       const sched::JobRecord& jr = d.jobs[j];
+      // The v3 per-job verdict: admission skips get their own outcome
+      // string (the run never started, so the runtime outcome would lie).
+      const std::string verdict =
+          jr.skipped_infeasible ? "skipped_infeasible" : flex::outcome_name(jr.outcome);
       os << "      {\"job\": " << jr.job << ", \"release_s\": " << jr.release_s
          << ", \"start_s\": " << jr.start_s << ", \"finish_s\": " << jr.finish_s
          << ", \"latency_s\": " << jr.latency_s << ", \"staleness_s\": " << jr.staleness_s
-         << ",\n       \"outcome\": " << json_str(flex::outcome_name(jr.outcome))
+         << ",\n       \"outcome\": " << json_str(verdict)
          << ", \"met_deadline\": " << (jr.met_deadline ? "true" : "false")
          << ", \"runtime\": " << json_str(jr.runtime) << ", \"reboots\": " << jr.reboots
          << ", \"checkpoints\": " << jr.checkpoints
          << ", \"progress_commits\": " << jr.progress_commits
          << ", \"tier_switches\": " << jr.tier_switches
-         << ", \"energy_j\": " << jr.energy_j << "}" << (j + 1 < d.jobs.size() ? "," : "")
-         << "\n";
+         << ", \"energy_j\": " << jr.energy_j
+         << ", \"energy_reclaimed_j\": " << jr.energy_reclaimed_j << "}"
+         << (j + 1 < d.jobs.size() ? "," : "") << "\n";
     }
     os << "     ]}" << (i + 1 < r.devices.size() ? "," : "") << "\n";
   }

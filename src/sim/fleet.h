@@ -20,7 +20,7 @@
 // start()/step()/finished() API interleaving hundreds of suspended
 // inferences on one thread; with jobs > 1 a worker pool claims whole
 // devices (they are independent, so the report — and the bytes of
-// FLEET.json, schema ehdnn-fleet-v2 — is identical for any job count).
+// FLEET.json, schema ehdnn-fleet-v3 — is identical for any job count).
 #pragma once
 
 #include <iosfwd>
@@ -84,6 +84,13 @@ struct FleetRunOptions {
   // each of these fixed keys and record jobs-completed/in-deadline —
   // the "adaptive vs best fixed runtime" comparison in FLEET.json.
   std::vector<std::string> baseline_runtimes;
+  // Re-run the SAME population with energy-budgeted admission forced off
+  // (admit=all) and record the comparison — the evidence that skipping
+  // infeasible releases improves the fleet's deadline rate.
+  bool compare_admission = false;
+  // Internal (used by the compare_admission rerun): force every adaptive
+  // group's admission mode to admit=all regardless of its sched spec.
+  bool force_admit_all = false;
 };
 
 // One device's agenda outcome, plus its fleet coordinates.
@@ -97,9 +104,11 @@ struct FleetDeviceResult {
   std::vector<sched::JobRecord> jobs;
   int jobs_completed = 0;
   int jobs_in_deadline = 0;
+  int jobs_skipped = 0;  // admission-refused releases (skipped_infeasible)
   long reboots = 0;
   long tier_switches = 0;
   double energy_j = 0.0;
+  double energy_reclaimed_j = 0.0;  // admission's estimated savings
   long steps = 0;  // executor slices this device took
 };
 
@@ -120,6 +129,11 @@ struct FleetReport {
   int jobs_in_deadline = 0;
   int jobs_dnf = 0;
   int jobs_starved = 0;
+  // Energy-budgeted admission: releases refused as infeasible (counted
+  // separately from DNF — the run never started) and the lower-bound
+  // energy those skips reclaimed for later releases.
+  int jobs_skipped = 0;
+  double energy_reclaimed_j = 0.0;
   double completion_rate = 0.0;  // completed / total jobs
   double deadline_rate = 0.0;    // in-deadline / total jobs
   // Nearest-rank percentiles over completed jobs, seconds.
@@ -131,6 +145,10 @@ struct FleetReport {
   double total_energy_j = 0.0;
 
   std::vector<FleetBaseline> baselines;
+
+  // FleetRunOptions::compare_admission rerun (admit forced to all); the
+  // `runtime` field is repurposed as the literal "admit=all".
+  std::vector<FleetBaseline> admission_baseline;
 };
 
 // Builds the fleet and runs every device's agenda to completion.
@@ -139,7 +157,9 @@ struct FleetReport {
 // before any device boots).
 FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts = {});
 
-// FLEET.json, schema ehdnn-fleet-v2 (see BENCHMARKS.md "Fleet").
+// FLEET.json, schema ehdnn-fleet-v3 (see BENCHMARKS.md "Fleet" for the
+// v2 -> v3 reader notes: new per-job verdict "skipped_infeasible", the
+// aggregate "admission" block, and the optional admit-all baseline).
 void write_fleet_json(std::ostream& os, const FleetReport& r);
 
 }  // namespace ehdnn::sim

@@ -30,6 +30,14 @@ std::unique_ptr<flex::RuntimePolicy> make_adaptive_default() {
   return sched::make_adaptive_policy();
 }
 
+// Deadline-aware scheduling v2 as its own sweep column: predicted-
+// completion tier selection over the periodic harvest forecaster (no
+// admission — a one-shot scenario cell has no deadline to refuse).
+std::unique_ptr<flex::RuntimePolicy> make_adaptive_deadline() {
+  return sched::make_adaptive_policy(
+      sched::parse_adaptive_spec("adaptive:sel=deadline,fc=periodic"));
+}
+
 // THE runtime table: key, model variant, and both factories in one place
 // (the sweep, the fuzzer, and the fleet harness all resolve through it).
 // `adaptive` entries ship BOTH variants co-resident and pick per boot;
@@ -50,6 +58,7 @@ constexpr RuntimeEntry kRuntimeTable[] = {
     {"tails", false, false, flex::make_tails_policy},
     {"flex", true, false, flex::make_flex_policy},
     {"adaptive", true, true, make_adaptive_default},
+    {"adaptive-deadline", true, true, make_adaptive_deadline},
 };
 
 const RuntimeEntry& runtime_entry(const std::string& key) {

@@ -71,9 +71,11 @@ struct SweepOptions {
 };
 
 // Runtime keys, in sweep order: base and sonic/tails execute the dense
-// twin, ace and flex the RAD-compressed deployment model, and adaptive
-// ships both variants co-resident and picks runtime + variant per boot
-// (sched::AdaptivePolicy). Keys, model variants, and the runtime/policy
+// twin, ace and flex the RAD-compressed deployment model, and the two
+// adaptive keys ship both variants co-resident and pick runtime + variant
+// per boot (sched::AdaptivePolicy) — `adaptive` via the PR-4 income
+// ladder, `adaptive-deadline` via predicted-completion tier selection
+// over the periodic forecaster. Keys, model variants, and the runtime/policy
 // factories all come from ONE static table, so adding a runtime cannot
 // desynchronize the sweep, the fuzzer, the fleet harness, and the CLIs'
 // --list-runtimes output.

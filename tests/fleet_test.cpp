@@ -129,6 +129,71 @@ TEST(Fleet, BaselinesRerunThePopulation) {
   EXPECT_LE(r.baselines[1].jobs_completed, r.total_jobs);
 }
 
+// A population whose agenda is hopeless half the time: a square "solar
+// duty" source with long nights and a deadline one burst cannot meet at
+// the night floor. Deadline-mode admission must refuse some releases.
+FleetConfig admission_fleet() {
+  FleetConfig cfg;
+  cfg.source = "square:hi=5e-3,lo=0.05e-3,period=4,duty=0.5";
+  cfg.offset_spread_s = 0.0;
+  FleetGroup g;
+  g.name = "admission";
+  g.count = 1;
+  g.task = models::Task::kMnist;
+  g.agenda.runtime = "adaptive";
+  g.agenda.jobs = 10;
+  g.agenda.period_s = 0.5;
+  g.agenda.deadline_s = 0.3;
+  g.capacitance_f = 10e-6;
+  g.sched_spec = "adaptive:sel=deadline,admit=budget,fc=periodic,probe=1";
+  cfg.groups.push_back(g);
+  return cfg;
+}
+
+TEST(FleetJson, V3AdmissionGolden) {
+  // The FLEET v3 schema's admission story end to end: real skipped
+  // releases, the aggregate admission block, the per-job
+  // skipped_infeasible verdict with its reclaimed-energy estimate, and
+  // the admit-all comparison rerun.
+  FleetRunOptions ropts;
+  ropts.compare_admission = true;
+  const FleetReport r = run_fleet(admission_fleet(), ropts);
+
+  EXPECT_GT(r.jobs_skipped, 0) << "fixture: admission must actually refuse releases";
+  EXPECT_GT(r.energy_reclaimed_j, 0.0);
+  ASSERT_EQ(r.admission_baseline.size(), 1u);
+  EXPECT_EQ(r.admission_baseline[0].runtime, "admit=all");
+  // The admit-all rerun runs every release (none skipped there), so it
+  // completes at least as many but spends the night grinding.
+  EXPECT_GT(r.admission_baseline[0].jobs_completed, r.jobs_completed);
+
+  int skipped_records = 0;
+  double reclaimed = 0.0;
+  for (const auto& d : r.devices) {
+    for (const auto& j : d.jobs) {
+      if (j.skipped_infeasible) {
+        ++skipped_records;
+        reclaimed += j.energy_reclaimed_j;
+        EXPECT_FALSE(j.met_deadline);
+        EXPECT_EQ(j.reboots, 0) << "a skipped release must never have booted";
+        EXPECT_DOUBLE_EQ(j.energy_j, 0.0);
+      }
+    }
+  }
+  EXPECT_EQ(skipped_records, r.jobs_skipped);
+  EXPECT_DOUBLE_EQ(reclaimed, r.energy_reclaimed_j);
+
+  std::ostringstream os;
+  write_fleet_json(os, r);
+  const std::string j = os.str();
+  for (const char* needle :
+       {"\"schema\": \"ehdnn-fleet-v3\"", "\"admission\": {\"skipped_infeasible\":",
+        "\"energy_reclaimed_j\":", "\"outcome\": \"skipped_infeasible\"",
+        "\"admission_baseline\": [", "\"mode\": \"admit=all\"", "\"jobs_skipped\":"}) {
+    EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
 TEST(Sweep, JobsCountDoesNotChangeTheMatrix) {
   const std::vector<std::string> runtimes = {"ace", "flex"};
   const std::vector<models::Task> tasks = {models::Task::kMnist};
@@ -164,11 +229,13 @@ TEST(Sweep, RuntimeTableIsConsistent) {
     (void)runtime_uses_compressed_model(key);  // must not throw
     (void)runtime_is_adaptive(key);
   }
-  // The per-boot scheduler is in the table (and only it is adaptive).
+  // Both per-boot scheduler modes are in the table (income ladder and
+  // deadline selection), and nothing else is adaptive.
   int adaptive_keys = 0;
   for (const auto& key : all_runtime_keys()) adaptive_keys += runtime_is_adaptive(key);
-  EXPECT_EQ(adaptive_keys, 1);
+  EXPECT_EQ(adaptive_keys, 2);
   EXPECT_TRUE(runtime_is_adaptive("adaptive"));
+  EXPECT_TRUE(runtime_is_adaptive("adaptive-deadline"));
   EXPECT_THROW(make_runtime("nope"), Error);
   EXPECT_THROW(make_policy("nope"), Error);
   EXPECT_THROW(runtime_uses_compressed_model("nope"), Error);

@@ -85,7 +85,12 @@ struct FuzzCase {
 // >= 1000 schedules total, spread so every runtime sees every commit
 // protocol it implements (SONIC is dense-only), FLEX additionally runs
 // with an eager (always-warning) and a late (never-warning) monitor, and
-// the adaptive scheduler is forced through ACE->FLEX switch boots.
+// the adaptive scheduler is forced through ACE->FLEX switch boots — in
+// BOTH selection modes: the income-ladder cases pin tier choice via a
+// rich-stuck const forecast, and the sel=deadline cases reach the same
+// ACE-first choice through the completion model (unbounded burst makes
+// the cheapest-energy tier win), so brown-outs land on deadline-mode
+// decision boots and on the demotion switches they trigger.
 constexpr FuzzCase kCases[] = {
     {"sonic", false, 250, 0x50000, 2.45},
     {"tails", false, 150, 0x51000, 2.45},
@@ -96,6 +101,9 @@ constexpr FuzzCase kCases[] = {
     {"flex", true, 40, 0x56000, 2.2001},  // late: failures arrive unwarned
     {"adaptive", true, 120, 0x57000, 2.45, "adaptive:fc=const,w=9,rich=5e-3,demote=1"},
     {"adaptive", false, 80, 0x58000, 2.45, "adaptive:fc=const,w=9,rich=5e-3,demote=1"},
+    {"adaptive", true, 70, 0x5c000, 2.45, "adaptive:sel=deadline,fc=const,w=9,demote=1"},
+    {"adaptive", false, 50, 0x5b000, 2.45,
+     "adaptive:sel=deadline,fc=periodic,demote=1"},
 };
 
 // Builds the case's runtime/policy honoring an adaptive spec override.

@@ -23,6 +23,7 @@
 #include "sched/adaptive.h"
 #include "sched/agenda.h"
 #include "sched/forecast.h"
+#include "sched_test_util.h"
 #include "sim/fleet.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
@@ -31,13 +32,20 @@ namespace ehdnn::sched {
 namespace {
 
 using fx::q15_t;
+using testutil::continuous_oracle;
+using testutil::income_samples;
+using testutil::random_tensor;
+using testutil::record_n;
+using testutil::record_samples;
+using testutil::tiny_compressed;
+using testutil::tiny_dense;
 
 // ---------------------------------------------------------------- forecast
 
 TEST(Forecast, EmaConvergesTowardSamples) {
   auto fc = make_ema_forecaster(1e-3, 0.5);
   EXPECT_DOUBLE_EQ(fc->forecast_w(), 1e-3);  // prior before any sample
-  for (int i = 0; i < 20; ++i) fc->record(5e-3);
+  record_n(*fc, 5e-3, 20);
   EXPECT_NEAR(fc->forecast_w(), 5e-3, 1e-6);
   EXPECT_EQ(fc->samples(), 20);
   fc->reset();
@@ -67,17 +75,53 @@ TEST(Forecast, FactoryParsesSpecs) {
   EXPECT_EQ(make_forecaster("ema:prior=2e-3,alpha=0.25")->name(), "ema");
   EXPECT_EQ(make_forecaster("window:n=4")->name(), "window");
   EXPECT_EQ(make_forecaster("const:w=1e-3")->name(), "const");
+  EXPECT_EQ(make_forecaster("periodic")->name(), "periodic");
+  EXPECT_EQ(make_forecaster("periodic:prior=2e-3,alpha=0.7,bins=8,conf=0.5")->name(),
+            "periodic");
   EXPECT_DOUBLE_EQ(make_forecaster("const:w=7e-3")->forecast_w(), 7e-3);
   EXPECT_THROW(make_forecaster("oracle"), Error);
   EXPECT_THROW(make_forecaster("ema:alpha=nope"), Error);
   EXPECT_THROW(make_forecaster("ema:typo=1"), Error);
   EXPECT_THROW(make_forecaster("window:n=0"), Error);
+  EXPECT_THROW(make_forecaster("periodic:bins=1"), Error);
+  EXPECT_THROW(make_forecaster("periodic:conf=2"), Error);
   EXPECT_FALSE(forecaster_kinds().empty());
+}
+
+TEST(Forecast, PeriodicFallsBackToEmaUntilLocked) {
+  // A constant stream never confirms a period: the periodic forecaster
+  // must behave exactly like the EMA it wraps.
+  auto fc = make_periodic_forecaster(1e-3, 0.5);
+  auto ema = make_ema_forecaster(1e-3, 0.5);
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), 1e-3);
+  record_n(*fc, 4e-3, 10);
+  record_n(*ema, 4e-3, 10);
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), ema->forecast_w());
+  EXPECT_DOUBLE_EQ(fc->period_s(), 0.0);
+  fc->reset();
+  EXPECT_DOUBLE_EQ(fc->forecast_w(), 1e-3);
+  EXPECT_EQ(fc->samples(), 0);
+}
+
+TEST(Forecast, PeriodicLocksSquareWaveAndReadsPhase) {
+  // A square income sequence (hi/lo, 1 s period, timestamped samples):
+  // the forecaster must confirm a period near 1 s and answer
+  // forecast_at_w by PHASE — including instants it never sampled.
+  const power::SquareSource src(5e-3, 0.2e-3, /*period_s=*/1.0, /*duty=*/0.5);
+  auto fc = make_periodic_forecaster(1e-3, 0.5);
+  record_samples(*fc, income_samples(src, 0.05, 120), 0.05);  // 6 s of history
+  ASSERT_GT(fc->period_s(), 0.0);
+  EXPECT_NEAR(fc->period_s(), 1.0, 0.15);
+  // Mid-hi and mid-lo phases far in the future.
+  EXPECT_GT(fc->forecast_at_w(100.25), 2e-3);
+  EXPECT_LT(fc->forecast_at_w(100.75), 2e-3);
 }
 
 TEST(Forecast, AdaptiveSpecParses) {
   const AdaptiveSpec def = parse_adaptive_spec("adaptive");
   EXPECT_EQ(def.forecaster, "ema");
+  EXPECT_EQ(def.sel, TierSelect::kIncome);
+  EXPECT_EQ(def.admit, Admission::kAll);
   const AdaptiveSpec s =
       parse_adaptive_spec("adaptive:fc=window,n=4,prior=2e-3,rich=5e-3,demote=3");
   EXPECT_EQ(s.forecaster, "window:prior=2e-3,n=4");
@@ -91,59 +135,26 @@ TEST(Forecast, AdaptiveSpecParses) {
   EXPECT_THROW(parse_adaptive_spec("sched"), Error);
 }
 
+TEST(Forecast, AdaptiveSpecParsesSchedulingV2Keys) {
+  const AdaptiveSpec s = parse_adaptive_spec(
+      "adaptive:sel=deadline,admit=budget,slack=0.05,probe=2,fc=periodic,bins=8,conf=0.5");
+  EXPECT_EQ(s.sel, TierSelect::kDeadline);
+  EXPECT_EQ(s.admit, Admission::kBudget);
+  EXPECT_DOUBLE_EQ(s.admit_slack_s, 0.05);
+  EXPECT_EQ(s.probe_skips, 2);
+  EXPECT_EQ(s.forecaster, "periodic:bins=8,conf=0.5");
+  // Income mode stays the default and the ladder knobs coexist with v2's.
+  const AdaptiveSpec mixed = parse_adaptive_spec("adaptive:sel=income,admit=budget,rich=4e-3");
+  EXPECT_EQ(mixed.sel, TierSelect::kIncome);
+  EXPECT_EQ(mixed.admit, Admission::kBudget);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:sel=psychic"), Error);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:admit=maybe"), Error);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:slack=-1"), Error);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:probe=0"), Error);
+  EXPECT_THROW(parse_adaptive_spec("adaptive:probe=2.5"), Error);
+}
+
 // ------------------------------------------------------- adaptive policy
-
-nn::Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
-  nn::Tensor t(std::move(shape));
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    t[i] = static_cast<float>(rng.uniform(-0.9, 0.9));
-  }
-  return t;
-}
-
-// Tiny "deployment" pair sharing one input shape: a BCM-compressed model
-// and its dense twin — the two variants an adaptive device ships.
-quant::QuantModel tiny_compressed(Rng& rng) {
-  nn::Model m;
-  m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
-  m.add<nn::ReLU>();
-  m.add<nn::MaxPool2D>();
-  m.add<nn::Flatten>();
-  m.add<nn::BcmDense>(2 * 4 * 4, 16, 16)->init(rng);
-  m.add<nn::ReLU>();
-  m.add<nn::Dense>(16, 4)->init(rng);
-  std::vector<nn::Tensor> calib;
-  for (int i = 0; i < 4; ++i) calib.push_back(random_tensor({1, 10, 10}, rng));
-  return quant::quantize(m, calib, {1, 10, 10});
-}
-
-quant::QuantModel tiny_dense(Rng& rng) {
-  nn::Model m;
-  m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
-  m.add<nn::ReLU>();
-  m.add<nn::MaxPool2D>();
-  m.add<nn::Flatten>();
-  m.add<nn::Dense>(2 * 4 * 4, 16)->init(rng);
-  m.add<nn::ReLU>();
-  m.add<nn::Dense>(16, 4)->init(rng);
-  std::vector<nn::Tensor> calib;
-  for (int i = 0; i < 4; ++i) calib.push_back(random_tensor({1, 10, 10}, rng));
-  return quant::quantize(m, calib, {1, 10, 10});
-}
-
-// Continuous-power reference output for one model (any runtime: the
-// bit-exactness contract makes them all agree per model).
-std::vector<q15_t> continuous_oracle(const quant::QuantModel& qm,
-                                     const std::vector<q15_t>& input) {
-  dev::Device dev;
-  power::ContinuousPower supply;
-  dev.attach_supply(&supply);
-  const auto cm = ace::compile(qm, dev);
-  auto rt = flex::make_flex_runtime();
-  const flex::RunStats st = rt->infer(dev, cm, input);
-  EXPECT_TRUE(st.completed());
-  return st.output;
-}
 
 TEST(Adaptive, LeanPriorPicksFlexUnderContinuousPower) {
   Rng rng(42);
@@ -443,9 +454,9 @@ TEST(FleetConfig, RejectsMalformedEntries) {
   EXPECT_THROW(parse("fleet seed=12oops\ngroup count=1\n"), Error);
 }
 
-// --------------------------------------------------- FLEET.json v2 schema
+// --------------------------------------------------- FLEET.json v3 schema
 
-TEST(FleetJson, V2SchemaGolden) {
+TEST(FleetJson, V3SchemaGolden) {
   sim::FleetConfig cfg;
   cfg.source = "square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5";
   cfg.offset_spread_s = 0.02;
@@ -464,18 +475,23 @@ TEST(FleetJson, V2SchemaGolden) {
   std::ostringstream os;
   sim::write_fleet_json(os, r);
   const std::string j = os.str();
-  // Schema marker and every v2 field family must be present.
+  // Schema marker and every v2-carried plus v3-added field family must be
+  // present (v3 adds the admission block, per-device jobs_skipped, and
+  // per-job energy_reclaimed_j).
   for (const char* needle :
-       {"\"schema\": \"ehdnn-fleet-v2\"", "\"groups\":", "\"aggregate\":", "\"baselines\":",
+       {"\"schema\": \"ehdnn-fleet-v3\"", "\"groups\":", "\"aggregate\":", "\"baselines\":",
         "\"per_device\":", "\"total_jobs\":", "\"in_deadline\":", "\"deadline_rate\":",
         "\"latency_p50_s\":", "\"latency_p99_s\":", "\"staleness_p50_s\":",
         "\"staleness_p99_s\":", "\"tier_switches\":", "\"jobs\": [", "\"release_s\":",
         "\"staleness_s\":", "\"met_deadline\":", "\"outcome\":", "\"period_s\":",
-        "\"deadline_s\":", "\"jobs_in_deadline\":", "\"runtime\": \"ace\""}) {
+        "\"deadline_s\":", "\"jobs_in_deadline\":", "\"runtime\": \"ace\"",
+        "\"admission\":", "\"skipped_infeasible\":", "\"energy_reclaimed_j\":",
+        "\"jobs_skipped\":", "\"admission_baseline\":"}) {
     EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle;
   }
-  // v1 is gone.
+  // Older schema ids are gone.
   EXPECT_EQ(j.find("ehdnn-fleet-v1"), std::string::npos);
+  EXPECT_EQ(j.find("ehdnn-fleet-v2"), std::string::npos);
 }
 
 }  // namespace

@@ -28,6 +28,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: fleet_runner [--out FILE] [--config FILE] [--jobs N] [--compare-fixed]\n"
+      "         [--compare-admission]\n"
       "         [--devices N] [--task mnist|har|okg] [--runtime KEY] [--source SPEC]\n"
       "         [--cap FARADS] [--max-off S] [--njobs N] [--period S] [--deadline S]\n"
       "         [--spread S] [--seed N] [--quiet] [--list-runtimes] [--list-sources]\n");
@@ -72,6 +73,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--compare-fixed") {
       compare_fixed = true;
+    } else if (arg == "--compare-admission") {
+      ropts.compare_admission = true;
     } else if (arg == "--devices") {
       population_flag = "--devices";
       flag_group.count = std::atoi(next());
@@ -165,7 +168,17 @@ int main(int argc, char** argv) {
                  cfg.total_devices(), r.total_jobs, r.jobs_completed,
                  100.0 * r.completion_rate, r.jobs_in_deadline, 100.0 * r.deadline_rate,
                  r.latency_p50_s, r.latency_p90_s, r.latency_p99_s, out_path.c_str());
+    if (r.jobs_skipped > 0) {
+      std::fprintf(stderr,
+                   "fleet_runner: admission skipped %d infeasible releases "
+                   "(~%.3g J reclaimed)\n",
+                   r.jobs_skipped, r.energy_reclaimed_j);
+    }
     for (const auto& b : r.baselines) {
+      std::fprintf(stderr, "fleet_runner: baseline %-8s %d completed, %d in deadline\n",
+                   b.runtime.c_str(), b.jobs_completed, b.jobs_in_deadline);
+    }
+    for (const auto& b : r.admission_baseline) {
       std::fprintf(stderr, "fleet_runner: baseline %-8s %d completed, %d in deadline\n",
                    b.runtime.c_str(), b.jobs_completed, b.jobs_in_deadline);
     }

@@ -49,11 +49,18 @@ std::vector<sim::ScenarioSpec> default_scenarios(bool with_traces) {
       // Sparse bursts with a dead floor and a tight off-time guard: every
       // runtime starves — the third outcome the matrix distinguishes.
       "rf-starved=rf:base=0,burst=8e-3,rate=2,dur=10e-3,seed=3,horizon=2;max_off=0.05",
+      // Strongly periodic square harvest (long hi/lo phases): the regime
+      // the periodic forecaster exists for — deadline-mode tier selection
+      // must ride the income swings rather than average them away.
+      "square-periodic=square:hi=5e-3,lo=0.1e-3,period=0.4,duty=0.5",
   };
   if (with_traces) {
     args.push_back("office-rf=trace:path=traces/rf_office.csv");
     args.push_back("solar-cloudy=trace:path=traces/solar_cloudy.csv");
     args.push_back("wearable-motion=trace:path=traces/wearable_motion.csv");
+    // Clean time-compressed solar days (periodic dark gaps), committed
+    // alongside the cloudy trace specifically for periodicity detection.
+    args.push_back("solar-periodic=trace:path=traces/solar_periodic.csv");
   }
   std::vector<sim::ScenarioSpec> out;
   for (const auto& a : args) out.push_back(sim::parse_scenario_arg(a));
@@ -63,7 +70,7 @@ std::vector<sim::ScenarioSpec> default_scenarios(bool with_traces) {
 int usage() {
   std::fprintf(stderr,
                "usage: scenario_runner [--out FILE] [--tasks mnist,har,okg]\n"
-               "         [--runtimes base,ace,sonic,tails,flex,adaptive]\n"
+               "         [--runtimes base,ace,sonic,tails,flex,adaptive,adaptive-deadline]\n"
                "         [--scenario NAME=SPEC[;cap=F][;max_off=S][;reboots=N]]...\n"
                "         [--jobs N] [--no-traces] [--smoke] [--smoke-sched] [--quiet]\n"
                "         [--list-runtimes] [--list-sources]\n");
@@ -132,11 +139,11 @@ int main(int argc, char** argv) {
   }
 
   if (smoke_sched) {
-    // Scheduling smoke (ctest sched_smoke, run from the repo root): the
-    // adaptive runtime swept against ace/flex over a replayed trace and
+    // Scheduling smoke (ctest sched_smoke, run from the repo root): both
+    // adaptive runtimes swept against ace/flex over a replayed trace and
     // an ACE-hostile one. Expectations asserted below.
     tasks = {models::Task::kMnist};
-    runtimes = {"ace", "flex", "adaptive"};
+    runtimes = {"ace", "flex", "adaptive", "adaptive-deadline"};
     scenarios = {
         sim::parse_scenario_arg("solar-cloudy=trace:path=traces/solar_cloudy.csv"),
         sim::parse_scenario_arg("office-rf=trace:path=traces/rf_office.csv"),
@@ -186,22 +193,24 @@ int main(int argc, char** argv) {
       // ctest gate: the per-boot scheduler must complete every trace
       // scenario FLEX completes (it can always degrade to the FLEX
       // tier), including office-rf where plain ACE DNFs.
-      bool adaptive_all = true, flex_all = true, ace_office_dnf = false;
+      bool adaptive_all = true, deadline_all = true, flex_all = true, ace_office_dnf = false;
       for (const auto& c : m.cells) {
         if (c.runtime == "adaptive") adaptive_all = adaptive_all && c.completed();
+        if (c.runtime == "adaptive-deadline") deadline_all = deadline_all && c.completed();
         if (c.runtime == "flex") flex_all = flex_all && c.completed();
         if (c.runtime == "ace" && c.scenario == "office-rf") ace_office_dnf = !c.completed();
       }
-      if (!adaptive_all || !flex_all || !ace_office_dnf) {
+      if (!adaptive_all || !deadline_all || !flex_all || !ace_office_dnf) {
         std::fprintf(stderr,
                      "scenario_runner: sched smoke expectations FAILED "
-                     "(adaptive all=%d, flex all=%d, ace office-rf dnf=%d)\n",
-                     adaptive_all, flex_all, ace_office_dnf);
+                     "(adaptive all=%d, adaptive-deadline all=%d, flex all=%d, "
+                     "ace office-rf dnf=%d)\n",
+                     adaptive_all, deadline_all, flex_all, ace_office_dnf);
         return 1;
       }
       std::fprintf(stderr,
-                   "scenario_runner: sched smoke ok (adaptive completes everywhere "
-                   "flex does; ace DNFs office-rf)\n");
+                   "scenario_runner: sched smoke ok (both adaptive modes complete "
+                   "everywhere flex does; ace DNFs office-rf)\n");
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "scenario_runner: %s\n", e.what());
