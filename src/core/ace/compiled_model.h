@@ -23,6 +23,11 @@
 
 namespace ehdnn::ace {
 
+// Tile-runtime cursor record placement inside the ctrl block (see the
+// CompiledModel::ctrl_base layout comment below).
+inline constexpr std::size_t kTileCursorOffset = 8;
+inline constexpr std::size_t kTileSlotWords = 8;
+
 struct LayerImage {
   dev::Addr w_base = 0;  // FRAM, weights (layout as in QLayer)
   dev::Addr b_base = 0;  // FRAM, biases
@@ -78,7 +83,15 @@ struct CompiledModel {
   dev::Addr act_b = 0;
   std::size_t act_words = 0;
 
-  dev::Addr ctrl_base = 0;        // intermittent-runtime control words
+  // Intermittent-runtime control words. Fixed layout within the block
+  // (ctrl_words = 32):
+  //   +0..+2                     SONIC/TAILS loop-continuation cursor
+  //   +kTileCursorOffset         tile-runtime cursor slot 0
+  //   +kTileCursorOffset+kTileSlotWords  tile-runtime cursor slot 1
+  // Each tile slot is kTileSlotWords: [0] epoch (written last, 0 =
+  // invalid), [1] layer, [2] outer, [3] tile, [4..7] acc64 payload —
+  // the double-buffered sub-layer cursor record (core/flex/tile.cpp).
+  dev::Addr ctrl_base = 0;
   std::size_t ctrl_words = 0;
   dev::Addr ckpt_base = 0;        // two checkpoint slots (FLEX)
   std::size_t ckpt_slot_words = 0;

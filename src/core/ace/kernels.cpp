@@ -492,6 +492,199 @@ void run_layer(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
   fail("run_layer: unknown kind");
 }
 
+// ------------------------------------------------------- tile-granular paths
+
+namespace {
+
+// Reduction length of one output element under the tile runtime: the
+// gather-table length for conv (live positions only — pruned positions
+// carry zero weights, so skipping them is value-identical to SONIC's
+// full walk), the input fan-in for Dense.
+std::size_t tile_reduction_len(const CompiledModel& cm, std::size_t layer) {
+  const QLayer& q = cm.model.layers[layer];
+  switch (q.kind) {
+    case QKind::kDense: return q.in_ch;
+    case QKind::kConv2D:
+    case QKind::kConv1D: return cm.plans[layer].w_gather.size();
+    default: return 0;
+  }
+}
+
+// Advances past a finished outer element; true when the layer is done.
+bool tile_advance_outer(TileCursor& cur, std::size_t outer_count) {
+  cur.tile = 0;
+  cur.acc = 0;
+  if (++cur.outer == outer_count) {
+    cur.outer = 0;
+    ++cur.layer;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t tile_layer_units(const CompiledModel& cm, std::size_t layer,
+                             std::size_t tile_elems) {
+  const QLayer& q = cm.model.layers[layer];
+  switch (q.kind) {
+    case QKind::kDense:
+      return q.out_ch * div_ceil(q.in_ch, tile_elems);
+    case QKind::kConv2D:
+    case QKind::kConv1D:
+      return q.out_size() * div_ceil(tile_reduction_len(cm, layer), tile_elems);
+    case QKind::kBcmDense:
+      return 0;
+    default:
+      return div_ceil(q.out_size(), tile_elems);
+  }
+}
+
+std::size_t tile_total_units(const CompiledModel& cm, std::size_t tile_elems) {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < cm.model.layers.size(); ++l) {
+    n += tile_layer_units(cm, l, tile_elems);
+  }
+  return n;
+}
+
+bool run_tile(ExecCtx& ctx, TileCursor& cur, std::size_t tile_elems) {
+  dev::Device& dv = ctx.dev;
+  const QLayer& q = ctx.q();
+  const LayerPlan& lp = ctx.plan();
+  const Addr in = ctx.in_addr;
+  const Addr out = ctx.out_addr;
+  const Addr wb = ctx.img().w_base;
+  const Addr bb = ctx.img().b_base;
+  ArenaRef ar(ctx);
+
+  switch (q.kind) {
+    case QKind::kDense: {
+      // SONIC's dense math at tile granularity: the guard shift keeps the
+      // running 32-bit sum overflow-free, so the partial accumulator is
+      // tile-size-independent and bit-identical to SONIC's.
+      const std::size_t nin = q.in_ch;
+      const std::size_t ntiles = div_ceil(nin, tile_elems);
+      const int guard = quant::dense_guard_shift(nin);
+      const int rshift = acc_rshift(q) - guard;
+      const std::size_t o = cur.outer;
+      const std::size_t lo = cur.tile * tile_elems;
+      const std::size_t n = std::min(lo + tile_elems, nin) - lo;
+      const Span xbuf = ScratchArena::need(ar->row, n);
+      const Span wbuf = ScratchArena::need(ar->gather, n);
+      dv.read_block(MemKind::kFram, in + lo, xbuf);
+      dv.read_block(MemKind::kFram, wb + o * nin + lo, wbuf);
+      auto acc = static_cast<std::int32_t>(cur.acc);
+      for (std::size_t i = 0; i < n; ++i) {
+        dv.cpu_mac_cycles();
+        dv.cpu_ops(2);
+        acc += static_cast<std::int32_t>(fx::mul_q30(xbuf[i], wbuf[i]) >> guard);
+      }
+      if (cur.tile + 1 == ntiles) {
+        dv.cpu_ops(4);
+        q15_t v = fx::narrow_q30(static_cast<std::int64_t>(acc), rshift);
+        if (!q.bias.empty()) v = fx::add_sat(v, dv.read(MemKind::kFram, bb + o));
+        dv.write(MemKind::kFram, out + o, v);
+        return tile_advance_outer(cur, q.out_ch);
+      }
+      ++cur.tile;
+      cur.acc = acc;
+      return false;
+    }
+
+    case QKind::kConv2D:
+    case QKind::kConv1D: {
+      // Operands come straight from FRAM through gather-table subranges —
+      // the per-element cost matches SONIC's two scalar reads per MAC,
+      // with one bounds check per tile instead of per word.
+      const std::size_t red = tile_reduction_len(ctx.cm, ctx.layer);
+      const std::size_t ntiles = div_ceil(red, tile_elems);
+      const int rshift = acc_rshift(q);
+      const std::size_t px = cur.outer;
+      std::size_t f = 0;
+      Addr xbase = 0;
+      if (q.kind == QKind::kConv2D) {
+        const std::size_t oh = q.out_shape[1], ow = q.out_shape[2];
+        f = px / (oh * ow);
+        const std::size_t i = (px / ow) % oh;
+        const std::size_t j = px % ow;
+        xbase = in + i * q.in_shape[2] + j;
+      } else {
+        const std::size_t ol = q.out_shape[1];
+        f = px / ol;
+        xbase = in + px % ol;
+      }
+      const std::size_t wstride =
+          q.kind == QKind::kConv2D ? q.in_ch * q.kh * q.kw : q.in_ch * q.k;
+      const std::size_t lo = cur.tile * tile_elems;
+      const std::size_t n = std::min(lo + tile_elems, red) - lo;
+      const Span xbuf = ScratchArena::need(ar->row, n);
+      const Span wbuf = ScratchArena::need(ar->gather, n);
+      const std::span<const std::uint32_t> xoff(lp.x_gather);
+      const std::span<const std::uint32_t> woff(lp.w_gather);
+      dv.read_gather(MemKind::kFram, xbase, xoff.subspan(lo, n), lp.x_span, xbuf);
+      dv.read_gather(MemKind::kFram, wb + f * wstride, woff.subspan(lo, n), lp.w_span,
+                     wbuf);
+      std::int64_t acc = cur.acc;
+      for (std::size_t e = 0; e < n; ++e) {
+        dv.cpu_mac_cycles();
+        dv.cpu_ops(2);
+        acc += fx::mul_q30(xbuf[e], wbuf[e]);
+      }
+      if (cur.tile + 1 == ntiles) {
+        dv.cpu_ops(4);
+        q15_t v = fx::narrow_q30(acc, rshift);
+        if (!q.bias.empty()) v = fx::add_sat(v, dv.read(MemKind::kFram, bb + f));
+        dv.write(MemKind::kFram, out + px, v);
+        return tile_advance_outer(cur, q.out_size());
+      }
+      ++cur.tile;
+      cur.acc = acc;
+      return false;
+    }
+
+    case QKind::kReLU:
+    case QKind::kFlatten:
+    case QKind::kMaxPool2D: {
+      // Element layers: one tile is a block of tile_elems output elements
+      // (sized by the spec, not a fixed 16 — a micro-capacitor burst must
+      // cover one whole block).
+      const std::size_t nelem = q.out_size();
+      const std::size_t blocks = div_ceil(nelem, tile_elems);
+      const std::size_t lo = cur.outer * tile_elems;
+      const std::size_t hi = std::min(lo + tile_elems, nelem);
+      for (std::size_t e = lo; e < hi; ++e) {
+        q15_t v;
+        if (q.kind == QKind::kMaxPool2D) {
+          const std::size_t ihh = q.in_shape[1], iww = q.in_shape[2];
+          const std::size_t ohh = q.out_shape[1], oww = q.out_shape[2];
+          const std::size_t ch = e / (ohh * oww);
+          const std::size_t i = (e / oww) % ohh;
+          const std::size_t j = e % oww;
+          v = fx::kQ15Min;
+          for (std::size_t di = 0; di < 2; ++di) {
+            for (std::size_t dj = 0; dj < 2; ++dj) {
+              v = std::max(v, dv.read(MemKind::kFram,
+                                      in + (ch * ihh + 2 * i + di) * iww + 2 * j + dj));
+            }
+          }
+          dv.cpu_ops(5);
+        } else {
+          v = dv.read(MemKind::kFram, in + e);
+          dv.cpu_ops(2);
+          if (q.kind == QKind::kReLU) v = std::max<q15_t>(v, 0);
+        }
+        dv.write(MemKind::kFram, out + e, v);
+      }
+      return tile_advance_outer(cur, blocks);
+    }
+
+    case QKind::kBcmDense:
+      fail("tile runtime has no BCM support (run it on the dense model)");
+  }
+  fail("run_tile: unknown kind");
+}
+
 // ---------------------------------------------------------------- acc helpers
 
 std::int32_t read_acc32(dev::Device& dev, MemKind mem, Addr base, std::size_t idx) {

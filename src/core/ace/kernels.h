@@ -130,6 +130,38 @@ class BcmObserver {
 // zeroed internally.
 void run_bcm(ExecCtx& ctx, BcmState st, BcmObserver* obs);
 
+// ---- tile-granular execution (the "tile" runtime, core/flex/tile.cpp) -----
+
+// Sub-layer progress cursor: one output element's reduction is split into
+// tiles of `tile_elems` MACs walked through the LayerPlan gather tables
+// (the natural seam — conv operands are addressed by w_gather/x_gather
+// subranges, FRAM-direct, no feature-map staging). `acc` carries the
+// partial sum across tiles; for Dense it holds the guard-shifted 32-bit
+// accumulator, for conv the exact 64-bit one. The element-wise math is
+// SONIC's exactly, so outputs are bit-identical across the two runtimes.
+struct TileCursor {
+  std::uint32_t layer = 0;
+  std::uint32_t outer = 0;  // conv output pixel / dense neuron / cpu block
+  std::uint32_t tile = 0;   // reduction tile within the element
+  std::int64_t acc = 0;     // partial accumulator across committed tiles
+};
+
+// Tile-commits for one layer / the whole model at tile size `tile_elems`:
+// outer elements x reduction tiles per element (CPU layers commit per
+// element block; BcmDense is unsupported and counts 0).
+std::size_t tile_layer_units(const CompiledModel& cm, std::size_t layer,
+                             std::size_t tile_elems);
+std::size_t tile_total_units(const CompiledModel& cm, std::size_t tile_elems);
+
+// Executes exactly one reduction tile at `cur` and advances the cursor —
+// to the next tile, the next outer element, or (when the layer's last
+// element finishes) to (layer+1, 0, 0). Output-word writes happen only on
+// an element's final tile and are idempotent (the activation ping-pong
+// guarantees the input words survive re-execution), so replaying a tile
+// whose cursor commit tore reproduces bit-identical state. Returns true
+// when the layer is complete.
+bool run_tile(ExecCtx& ctx, TileCursor& cur, std::size_t tile_elems);
+
 // ---- SRAM 32/64-bit accumulator helpers (shared with runtimes) ------------
 
 // 32-bit value across two q15 words (lo, hi), costed device accesses.

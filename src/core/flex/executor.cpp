@@ -12,6 +12,9 @@ void IntermittentExecutor::start(dev::Device& dev, const ace::CompiledModel& cm,
   st_.units_total = policy_->units_total(cm);
   base_ = mark(dev);
   attempt_start_cycles_ = 0.0;
+  futile_boots_ = 0;
+  banked_mark_ = 0;
+  need_recover_ = false;
   need_boot_ = true;
   fresh_ = true;
   done_ = false;
@@ -27,6 +30,22 @@ bool IntermittentExecutor::step() {
   if (done_) return false;
   try {
     StepContext c = ctx();
+    if (need_recover_) {
+      // Recovery (recharge + the 400-cycle boot sequence) is a failable
+      // slice of its own: at micro-capacitor envelopes the boot sequence
+      // alone can outcost the charge burst and brown out again. Handling
+      // that here — instead of calling recover inside the catch block —
+      // keeps the retry bounded by the same watchdog/max_reboots guards
+      // instead of escaping as an uncaught PowerFailure.
+      need_recover_ = false;
+      if (!recover_from_failure(*dev_, st_)) {
+        // Harvester starved; outcome already recorded by recover.
+        finish();
+        return false;
+      }
+      need_boot_ = true;
+      return true;
+    }
     if (need_boot_) {
       // Cursor restores cost FRAM reads, so a boot is a failable slice of
       // its own — and a natural suspension point.
@@ -43,18 +62,26 @@ bool IntermittentExecutor::step() {
   } catch (const dev::PowerFailure&) {
     const double attempt_cycles = dev_->trace().total_cycles() - attempt_start_cycles_;
     StepContext c = ctx();
+    // Livelock watchdog: a power cycle that banked nothing durable
+    // (no progress commit, no checkpoint) is futile — the next boot will
+    // redo exactly the same work. Enough of those in a row and the run
+    // can never finish, so fail loudly instead of spinning to the
+    // reboot cap.
+    const long banked = st_.progress_commits + st_.checkpoints;
+    futile_boots_ = banked > banked_mark_ ? 0 : futile_boots_ + 1;
+    banked_mark_ = banked;
+    if (opts_.max_futile_boots > 0 && futile_boots_ >= opts_.max_futile_boots) {
+      st_.livelock = true;  // outcome stays kDidNotFinish
+      finish();
+      return false;
+    }
     if (!policy_->retry_after_failure(c, attempt_cycles) ||
         dev_->reboots() - base_.reboots >= opts_.max_reboots) {
       // Outcome stays kDidNotFinish — the Fig. 7b "X".
       finish();
       return false;
     }
-    if (!recover_from_failure(*dev_, st_)) {
-      // Harvester starved; outcome already recorded by recover.
-      finish();
-      return false;
-    }
-    need_boot_ = true;
+    need_recover_ = true;
   }
   return !done_;
 }

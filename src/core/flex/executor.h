@@ -146,6 +146,12 @@ class IntermittentExecutor {
   RunStats st_;
   TraceBaseline base_;
   double attempt_start_cycles_ = 0.0;
+  // Livelock watchdog (RunOptions::max_futile_boots): consecutive power
+  // cycles whose banked progress (progress_commits + checkpoints) did not
+  // move. Reset on any banked progress and at start().
+  long futile_boots_ = 0;
+  long banked_mark_ = 0;
+  bool need_recover_ = false;
   bool need_boot_ = true;
   bool fresh_ = true;
   bool done_ = true;  // no run armed yet
@@ -157,6 +163,19 @@ std::unique_ptr<RuntimePolicy> make_ace_policy();  // also BASE (dense model)
 std::unique_ptr<RuntimePolicy> make_sonic_policy();
 std::unique_ptr<RuntimePolicy> make_tails_policy();
 std::unique_ptr<RuntimePolicy> make_flex_policy();
+
+// The tile policy (sub-layer progress preservation): conv/FC layers
+// execute in reduction tiles of `tile_elems` MACs, each followed by a
+// torn-write-safe commit of a (layer, outer, tile, accumulator) cursor to
+// a double-buffered FRAM record — so a boot banks a few tiles even when a
+// whole conv pixel outcosts the charge burst (micro-capacitor envelopes
+// where SONIC's per-pixel commit livelocks). Dense models only, exactly
+// like SONIC. Spec grammar: "tile" or "tile:t=N" (N >= 1).
+struct TileSpec {
+  std::size_t tile_elems = 8;
+};
+TileSpec parse_tile_spec(const std::string& key);  // throws on malformed args
+std::unique_ptr<RuntimePolicy> make_tile_policy(TileSpec spec = {});
 
 // Wraps a policy as the classic one-call InferenceRuntime.
 std::unique_ptr<InferenceRuntime> make_policy_runtime(std::unique_ptr<RuntimePolicy> policy);

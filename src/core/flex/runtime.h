@@ -67,6 +67,11 @@ struct RunStats {
   double energy_by_rail[static_cast<std::size_t>(dev::Rail::kCount)] = {};
 
   long reboots = 0;
+  // Set (with outcome kDidNotFinish) when the executor's livelock
+  // watchdog tripped: RunOptions::max_futile_boots consecutive power
+  // cycles ended without banking a single progress commit or checkpoint,
+  // so the run was rerunning the same work forever.
+  bool livelock = false;
   long checkpoints = 0;         // explicit checkpoint events (FLEX)
   double checkpoint_energy_j = 0.0;
   long progress_commits = 0;    // steady-state index/acc commits (SONIC/TAILS)
@@ -81,6 +86,13 @@ struct RunOptions {
   dsp::FftScaling scaling = dsp::FftScaling::kBlockFloat;
   fx::SatStats* stats = nullptr;
   long max_reboots = 200000;  // livelock guard (BASE/ACE under harvesting)
+  // Executor-level livelock watchdog: after this many *consecutive* boots
+  // that bank neither a progress commit nor a checkpoint, the run is
+  // abandoned as kDidNotFinish with RunStats::livelock set. 0 disables
+  // the watchdog (the default — one-shot API behaviour is unchanged);
+  // the scenario/fleet harnesses enable it so a conv that outcosts the
+  // charge burst fails loudly instead of rerunning until max_reboots.
+  long max_futile_boots = 0;
   // FLEX voltage-monitor warning threshold (volts). Sized so the energy
   // between v_warn and the brown-out voltage covers the worst-case
   // checkpoint (power::warn_voltage_for computes it from the capacitor
@@ -100,6 +112,14 @@ struct RunOptions {
 // paper's "at most 0.033 mJ" per-checkpoint bound, SSIV-A.5).
 double worst_checkpoint_energy(const ace::CompiledModel& cm, const dev::CostModel& cost);
 
+// SONIC's largest *minimal committable unit* for a compiled model: the
+// most expensive single conv output element / dense inner tile / element
+// block, including its operand reads and commit write. A charge burst
+// below this (with margin) livelocks SONIC — the static geometry test
+// that pins the adaptive ladder to the tile runtime at micro-capacitor
+// envelopes (sched::AdaptiveSpec::ckpt_margin).
+double sonic_worst_commit_energy(const ace::CompiledModel& cm, const dev::CostModel& cost);
+
 class InferenceRuntime {
  public:
   virtual ~InferenceRuntime() = default;
@@ -118,6 +138,7 @@ std::unique_ptr<InferenceRuntime> make_ace_runtime();    // also BASE (dense mod
 std::unique_ptr<InferenceRuntime> make_sonic_runtime();
 std::unique_ptr<InferenceRuntime> make_tails_runtime();
 std::unique_ptr<InferenceRuntime> make_flex_runtime();
+std::unique_ptr<InferenceRuntime> make_tile_runtime();  // sub-layer cursors, dense models
 
 // --- shared helpers ---------------------------------------------------------
 

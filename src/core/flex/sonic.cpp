@@ -275,4 +275,36 @@ std::unique_ptr<InferenceRuntime> make_sonic_runtime() {
   return make_policy_runtime(make_sonic_policy());
 }
 
+double sonic_worst_commit_energy(const ace::CompiledModel& cm, const dev::CostModel& cost) {
+  // Scalar FRAM word traffic (SONIC's kernels are all CPU-addressed) and
+  // the MPY32 MAC with its two address-advance ops, matching the per-MAC
+  // accounting in run_sonic_layer above.
+  const double word_r = cost.e_fram_read + cost.seconds(cost.cycles_fram_word) * cost.p_cpu_active;
+  const double word_w = cost.e_fram_write + cost.seconds(cost.cycles_fram_word) * cost.p_cpu_active;
+  const double mac =
+      cost.seconds(cost.cycles_cpu_mac + 2.0 * cost.cycles_cpu_op) * cost.p_cpu_active;
+  double worst = 0.0;
+  for (std::size_t l = 0; l < cm.model.layers.size(); ++l) {
+    const quant::QLayer& q = cm.model.layers[l];
+    double unit = 0.0;
+    switch (q.kind) {
+      case QKind::kDense:
+        // One inner tile: kTile MACs (x + w reads each) + acc slot write.
+        unit = static_cast<double>(kTile) * (2.0 * word_r + mac) + 4.0 * word_w;
+        break;
+      case QKind::kConv2D:
+      case QKind::kConv1D:
+        // One output element: the whole reduction, then the output write.
+        unit = static_cast<double>(cm.plans[l].w_gather.size()) * (2.0 * word_r + mac) + word_w;
+        break;
+      default:
+        // Element layers commit in kCpuTile blocks of read-op-write.
+        unit = static_cast<double>(kCpuTile) * (word_r + word_w);
+        break;
+    }
+    worst = std::max(worst, unit);
+  }
+  return worst;
+}
+
 }  // namespace ehdnn::flex

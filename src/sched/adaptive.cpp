@@ -30,6 +30,7 @@ struct Tier {
 std::unique_ptr<flex::RuntimePolicy> make_tier_policy(const std::string& key) {
   if (key == "flex") return flex::make_flex_policy();
   if (key == "sonic") return flex::make_sonic_policy();
+  if (key == "tile") return flex::make_tile_policy();
   return flex::make_ace_policy();  // base and ace
 }
 
@@ -62,6 +63,7 @@ CompletionModel CompletionModel::calibrate(const ace::CompiledModel& compressed,
   specs.push_back({"ace", false, false});
   specs.push_back({"flex", false, true});
   if (dense != nullptr) specs.push_back({"sonic", true, true});
+  if (dense != nullptr) specs.push_back({"tile", true, true});
 
   CompletionModel m;
   const std::vector<fx::q15_t> input(cm_c.model.layers.front().in_size(), 0);
@@ -158,7 +160,7 @@ struct AdaptivePolicy::Impl {
   bool provisioned = false;
 
   std::vector<Tier> tiers;  // richest (index 0) to leanest
-  int base_i = -1, ace_i = -1, flex_i = -1, sonic_i = -1;
+  int base_i = -1, ace_i = -1, flex_i = -1, sonic_i = -1, tile_i = -1;
 
   std::unique_ptr<HarvestForecaster> fc;
 
@@ -167,6 +169,9 @@ struct AdaptivePolicy::Impl {
   // computed; filled lazily by flex_ckpt(), the ONE source both the
   // boot-time deciders and the admission predictors read).
   double flex_ckpt_j = -1.0;
+  // SONIC's worst minimal-commit energy on the dense image (-1 = not yet
+  // computed) — the threshold below which the ladder pins to tile.
+  double sonic_unit_j = -1.0;
   bool ready = false;
 
   // Deadline-mode state: the calibrated completion model (lazy — only
@@ -195,7 +200,7 @@ struct AdaptivePolicy::Impl {
 
   void rebuild() {
     tiers.clear();
-    base_i = ace_i = flex_i = sonic_i = -1;
+    base_i = ace_i = flex_i = sonic_i = tile_i = -1;
     const bool dense = provisioned && image.dense != nullptr;
     if (dense) {
       base_i = static_cast<int>(tiers.size());
@@ -208,12 +213,17 @@ struct AdaptivePolicy::Impl {
     if (dense) {
       sonic_i = static_cast<int>(tiers.size());
       tiers.push_back({"sonic", true, true, flex::make_sonic_policy()});
+      // The ladder floor: sub-layer cursors keep banking progress after
+      // even SONIC's per-element commits stop fitting the burst.
+      tile_i = static_cast<int>(tiers.size());
+      tiers.push_back({"tile", true, true, flex::make_tile_policy()});
     }
     cur = -1;
     inner_fresh_pending = false;
     ready = false;
     cmpl.reset();  // a new image invalidates the calibration
     flex_ckpt_j = -1.0;
+    sonic_unit_j = -1.0;
   }
 
   const ace::CompiledModel& resolve_cm(const flex::StepContext& ctx, const Tier& t) const {
@@ -238,7 +248,18 @@ struct AdaptivePolicy::Impl {
             "adaptive: co-resident model variants must share the input size");
     }
     flex_ckpt(ctx.cm, ctx.dev);
+    sonic_unit(ctx.dev);
     ready = true;
+  }
+
+  // Lazily-computed SONIC worst minimal-commit energy on the dense image
+  // (0 when no dense twin ships — forced_tile_for then never fires).
+  double sonic_unit(const dev::Device& dev) {
+    if (sonic_unit_j < 0.0) {
+      sonic_unit_j =
+          tile_i >= 0 ? flex::sonic_worst_commit_energy(*image.dense, dev.cost()) : 0.0;
+    }
+    return sonic_unit_j;
   }
 
   void ensure_calibrated(const ace::CompiledModel& armed, const dev::DeviceConfig& dcfg) {
@@ -258,12 +279,22 @@ struct AdaptivePolicy::Impl {
            image.burst_energy_j < spec.ckpt_margin * ckpt_j;
   }
 
+  // One notch below forced_sonic_for: a burst that cannot fund even
+  // SONIC's smallest committable unit (with the same margin) livelocks
+  // every per-element strategy — the device is statically a tile device.
+  // Checked FIRST: its band is strictly inside the forced-sonic band.
+  bool forced_tile_for(const AdaptiveSpec& spec) const {
+    return tile_i >= 0 && sonic_unit_j > 0.0 &&
+           image.burst_energy_j < spec.ckpt_margin * sonic_unit_j;
+  }
+
   // Shared setup for the admission predictors: calibration, the FLEX
   // checkpoint budget (computed once per image), the sonic constraint,
   // and the supply clock.
   struct PredictSetup {
     double ckpt_j = 0.0;
     bool forced_sonic = false;
+    bool forced_tile = false;
     double now_s = 0.0;
   };
   PredictSetup predict_setup(const dev::Device& dev, const ace::CompiledModel& armed,
@@ -271,7 +302,9 @@ struct AdaptivePolicy::Impl {
     ensure_calibrated(armed, dev.config());
     PredictSetup ps;
     ps.ckpt_j = flex_ckpt(armed, dev);
-    ps.forced_sonic = forced_sonic_for(ps.ckpt_j, spec);
+    sonic_unit(dev);
+    ps.forced_tile = forced_tile_for(spec);
+    ps.forced_sonic = !ps.forced_tile && forced_sonic_for(ps.ckpt_j, spec);
     const dev::PowerSupply* sup = dev.supply();
     ps.now_s = sup != nullptr ? sup->now() : 0.0;
     return ps;
@@ -291,6 +324,7 @@ struct AdaptivePolicy::Impl {
   // the fastest-predicted tier still gets its shot (a late answer beats
   // no answer — admission control is where hopeless releases are shed).
   int decide_deadline(const AdaptiveSpec& spec, flex::StepContext& ctx) {
+    if (forced_tile_for(spec)) return tile_i;
     if (sonic_i >= 0 && forced_sonic_for(flex_ckpt_j, spec)) return sonic_i;
     ensure_calibrated(ctx.cm, ctx.dev.config());
     double remaining = std::numeric_limits<double>::infinity();
@@ -329,8 +363,9 @@ struct AdaptivePolicy::Impl {
 
   int decide_fresh(const AdaptiveSpec& spec, flex::StepContext& ctx) {
     if (spec.sel == TierSelect::kDeadline) return decide_deadline(spec, ctx);
-    // Static energy geometry first (forced_sonic_for, shared with the
-    // deadline mode and the admission predictors).
+    // Static energy geometry first (forced_tile_for / forced_sonic_for,
+    // shared with the deadline mode and the admission predictors).
+    if (forced_tile_for(spec)) return tile_i;
     if (sonic_i >= 0 && forced_sonic_for(flex_ckpt_j, spec)) return sonic_i;
     // Ask the forecaster about NOW, not about its last sample: a locked
     // periodic forecast reads the current wall-clock phase even when the
@@ -533,6 +568,7 @@ double AdaptivePolicy::predict_best_completion_s(const dev::Device& dev,
   const Impl::PredictSetup ps = s.predict_setup(dev, armed, spec_);
   double best = std::numeric_limits<double>::infinity();
   for (const auto& t : s.cmpl->tiers()) {
+    if (ps.forced_tile && t.key != "tile") continue;
     if (ps.forced_sonic && t.key != "sonic") continue;
     best = std::min(best, s.cmpl->predict_curve_s(t, s.image.burst_energy_j, *s.fc, ps.now_s,
                                                   s.overhead_for(t.key, ps.ckpt_j)));
@@ -546,6 +582,7 @@ double AdaptivePolicy::predict_optimistic_s(const dev::Device& dev,
   const Impl::PredictSetup ps = s.predict_setup(dev, armed, spec_);
   double best = std::numeric_limits<double>::infinity();
   for (const auto& t : s.cmpl->tiers()) {
+    if (ps.forced_tile && t.key != "tile") continue;
     if (ps.forced_sonic && t.key != "sonic") continue;
     best = std::min(best, t.on_s);
   }

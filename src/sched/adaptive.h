@@ -11,10 +11,12 @@
 //     ace   (compressed,  ACE kernels, no checkpointing)
 //     flex  (compressed,  on-demand checkpointing)
 //     sonic (dense twin,  fine-grained loop continuation)
+//     tile  (dense twin,  sub-layer reduction-tile cursors)
 //
 // is selected per boot. Fresh boots pick from the forecast (and from the
 // static burst-vs-checkpoint budget: a capacitor too small to fund a FLEX
-// checkpoint is a SONIC device, no forecast needed) — either by income
+// checkpoint is a SONIC device, and one too small to fund even SONIC's
+// largest minimal commit is a tile device — no forecast needed) — either by income
 // thresholds (sel=income, the PR-4 ladder) or by predicted completion
 // time against the job's deadline (sel=deadline: the cheapest tier whose
 // CompletionModel estimate beats the time remaining). After a failure the
@@ -119,15 +121,15 @@ struct DeploymentImage {
 class CompletionModel {
  public:
   struct Tier {
-    std::string key;        // "base" | "ace" | "flex" | "sonic"
+    std::string key;        // "base" | "ace" | "flex" | "sonic" | "tile"
     bool dense = false;     // executes the dense twin
     bool persistent = false;  // progress survives reboots
     double energy_j = 0.0;  // continuous-power inference energy
     double on_s = 0.0;      // continuous-power inference time
   };
 
-  // Calibrates every tier the image ships: {base, ace, flex, sonic} when
-  // `dense` is non-null, {ace, flex} otherwise. `dcfg` is the real
+  // Calibrates every tier the image ships: {base, ace, flex, sonic,
+  // tile} when `dense` is non-null, {ace, flex} otherwise. `dcfg` is the real
   // device's configuration (the scratch replicas are built from it).
   static CompletionModel calibrate(const ace::CompiledModel& compressed,
                                    const ace::CompiledModel* dense,
@@ -183,8 +185,8 @@ class AdaptivePolicy : public flex::RuntimePolicy {
   const ace::CompiledModel& output_model(const ace::CompiledModel& armed) const override;
 
   // --- scheduling diagnostics (read by the fleet's job queue) ----------
-  // Tier key currently selected: "base", "ace", "flex" or "sonic" ("" before
-  // the first boot).
+  // Tier key currently selected: "base", "ace", "flex", "sonic" or
+  // "tile" ("" before the first boot).
   std::string current_runtime() const;
   // Whether the current tier executes the dense twin.
   bool on_dense_model() const;

@@ -115,6 +115,7 @@ void JobQueue::record_finished() {
   r.staleness_s = r.finish_s - release_s_;
   r.outcome = st.outcome;
   r.met_deadline = st.completed() && r.staleness_s <= agenda_.deadline_s;
+  r.livelock = st.livelock;
   r.reboots = st.reboots;
   r.checkpoints = st.checkpoints;
   r.progress_commits = st.progress_commits;

@@ -47,6 +47,10 @@ struct JobRecord {
   double staleness_s = 0.0;  // finish - release (the deadline clock)
   flex::Outcome outcome = flex::Outcome::kDidNotFinish;
   bool met_deadline = false;  // completed && staleness <= deadline
+  // DNF via the executor's futile-boot watchdog (RunOptions::
+  // max_futile_boots): the run was spinning without banking progress.
+  // Reported as the per-job verdict "livelock" in the FLEET v4 schema.
+  bool livelock = false;
   // Energy-budgeted admission refused this release: the best tier's
   // predicted completion missed the deadline by more than the configured
   // slack, so the run never started and the capacitor kept its charge for

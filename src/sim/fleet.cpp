@@ -85,6 +85,7 @@ void validate(const FleetConfig& cfg) {
     check(g.capacitance_f > 0.0, where + ": capacitance must be > 0");
     check(g.max_off_s > 0.0, where + ": max_off must be > 0");
     check(g.max_reboots >= 1, where + ": reboots must be >= 1");
+    check(g.max_futile >= 0, where + ": max_futile must be >= 0");
     check(g.agenda.jobs >= 1, where + ": jobs must be >= 1");
     check(g.agenda.period_s > 0.0, where + ": agenda period must be > 0");
     check(g.agenda.deadline_s > 0.0, where + ": deadline must be > 0");
@@ -185,6 +186,7 @@ FleetConfig parse_fleet_config(std::istream& is) {
       if (const auto v = take_num("cap")) g.capacitance_f = *v;
       if (const auto v = take_num("max_off")) g.max_off_s = *v;
       if (const auto v = take_int("reboots", 0, 1e15)) g.max_reboots = static_cast<long>(*v);
+      if (const auto v = take_int("max_futile", 0, 1e15)) g.max_futile = static_cast<long>(*v);
       if (const auto v = take_int("jobs", 0, 1e9)) g.agenda.jobs = static_cast<int>(*v);
       if (const auto v = take_num("period")) g.agenda.period_s = *v;
       if (const auto v = take_num("deadline")) g.agenda.deadline_s = *v;
@@ -321,6 +323,7 @@ FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts) {
           *fd.policy, fd.device.cost(), fd.cm_primary,
           fd.cm_dense.has_value() ? &*fd.cm_dense : nullptr, fd.supply.burst_energy());
       fd.opts.max_reboots = g.max_reboots;
+      fd.opts.max_futile_boots = g.max_futile;
       fd.opts.flex_v_warn = power::warn_voltage_for(fd.supply.config(), worst_ck + 5e-6, 3.0);
       fd.queue.emplace(fd.device, *fd.policy, fd.cm_primary, fd.opts, g.agenda, &fd.inputs);
     }
@@ -474,7 +477,7 @@ FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts) {
 
 void write_fleet_json(std::ostream& os, const FleetReport& r) {
   const FleetConfig& c = r.config;
-  os << "{\n  \"schema\": \"ehdnn-fleet-v3\",\n";
+  os << "{\n  \"schema\": \"ehdnn-fleet-v4\",\n";
   os << "  \"seed\": " << c.seed << ",\n";
   os << "  \"source\": " << json_str(c.source) << ",\n";
   os << "  \"offset_spread_s\": " << c.offset_spread_s << ",\n";
@@ -486,6 +489,7 @@ void write_fleet_json(std::ostream& os, const FleetReport& r) {
        << ", \"task\": " << json_str(models::task_name(g.task))
        << ", \"runtime\": " << json_str(g.agenda.runtime)
        << ", \"capacitance_f\": " << g.capacitance_f << ", \"max_off_s\": " << g.max_off_s
+       << ", \"max_futile\": " << g.max_futile
        << ",\n     \"jobs\": " << g.agenda.jobs << ", \"period_s\": " << g.agenda.period_s
        << ", \"deadline_s\": " << json_deadline(g.agenda.deadline_s)
        << ", \"sched\": " << json_str(g.sched_spec) << "}"
@@ -539,10 +543,14 @@ void write_fleet_json(std::ostream& os, const FleetReport& r) {
     os << "     \"jobs\": [\n";
     for (std::size_t j = 0; j < d.jobs.size(); ++j) {
       const sched::JobRecord& jr = d.jobs[j];
-      // The v3 per-job verdict: admission skips get their own outcome
-      // string (the run never started, so the runtime outcome would lie).
-      const std::string verdict =
-          jr.skipped_infeasible ? "skipped_infeasible" : flex::outcome_name(jr.outcome);
+      // The v4 per-job verdict: admission skips get their own outcome
+      // string (the run never started, so the runtime outcome would lie),
+      // and a watchdog-tripped DNF reports as "livelock" (the run was
+      // spinning, not merely slow).
+      const std::string verdict = jr.skipped_infeasible
+                                      ? "skipped_infeasible"
+                                      : (jr.livelock ? "livelock"
+                                                     : flex::outcome_name(jr.outcome));
       os << "      {\"job\": " << jr.job << ", \"release_s\": " << jr.release_s
          << ", \"start_s\": " << jr.start_s << ", \"finish_s\": " << jr.finish_s
          << ", \"latency_s\": " << jr.latency_s << ", \"staleness_s\": " << jr.staleness_s

@@ -20,7 +20,7 @@
 // start()/step()/finished() API interleaving hundreds of suspended
 // inferences on one thread; with jobs > 1 a worker pool claims whole
 // devices (they are independent, so the report — and the bytes of
-// FLEET.json, schema ehdnn-fleet-v3 — is identical for any job count).
+// FLEET.json, schema ehdnn-fleet-v4 — is identical for any job count).
 #pragma once
 
 #include <iosfwd>
@@ -42,6 +42,10 @@ struct FleetGroup {
   double capacitance_f = 10e-6;   // per-device buffer
   double max_off_s = 30.0;        // starvation guard
   long max_reboots = 100000;
+  // Executor futile-boot watchdog (RunOptions::max_futile_boots): N
+  // consecutive boots banking nothing end the job as the "livelock"
+  // verdict. 0 (default) disables it; micro-capacitor groups set it.
+  long max_futile = 0;
   // Adaptive-scheduler spec override ("adaptive:rich=...,demote=...");
   // empty = defaults. Only meaningful when agenda.runtime == "adaptive".
   std::string sched_spec;
@@ -66,7 +70,8 @@ struct FleetConfig {
 //   fleet source=SPEC spread=S seed=N
 //   group name=ID count=N task=mnist runtime=adaptive cap=10e-6
 //         jobs=3 period=0.2 deadline=1.5 [max_off=S] [reboots=N]
-//         [sched=adaptive:...] [fram=WORDS]      (one line per group)
+//         [max_futile=N] [sched=adaptive:...] [fram=WORDS]
+//                                               (one line per group)
 //
 // Tokens are whitespace-separated key=value pairs; the `fleet` line is
 // optional (defaults above) and allowed at most once. Malformed entries —
@@ -157,8 +162,10 @@ struct FleetReport {
 // before any device boots).
 FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts = {});
 
-// FLEET.json, schema ehdnn-fleet-v3 (see BENCHMARKS.md "Fleet" for the
-// v2 -> v3 reader notes: new per-job verdict "skipped_infeasible", the
+// FLEET.json, schema ehdnn-fleet-v4 (see BENCHMARKS.md "Fleet" for the
+// v3 -> v4 reader notes: new per-job verdict "livelock" — a DNF whose
+// run tripped the futile-boot watchdog — plus the per-group max_futile
+// config echo; v2 -> v3 added the "skipped_infeasible" verdict, the
 // aggregate "admission" block, and the optional admit-all baseline).
 void write_fleet_json(std::ostream& os, const FleetReport& r);
 

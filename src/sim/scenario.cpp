@@ -51,19 +51,37 @@ struct RuntimeEntry {
   std::unique_ptr<flex::RuntimePolicy> (*make_policy)();
 };
 
+std::unique_ptr<flex::RuntimePolicy> make_tile_default() {
+  return flex::make_tile_policy();
+}
+
 constexpr RuntimeEntry kRuntimeTable[] = {
     {"base", false, false, flex::make_ace_policy},
     {"ace", true, false, flex::make_ace_policy},
     {"sonic", false, false, flex::make_sonic_policy},
     {"tails", false, false, flex::make_tails_policy},
+    {"tile", false, false, make_tile_default},
     {"flex", true, false, flex::make_flex_policy},
     {"adaptive", true, true, make_adaptive_default},
     {"adaptive-deadline", true, true, make_adaptive_deadline},
 };
 
 const RuntimeEntry& runtime_entry(const std::string& key) {
+  // "tile" takes an optional ":t=N" spec suffix; the base name before the
+  // colon resolves the table entry.
+  const std::string base = key.substr(0, key.find(':'));
   for (const auto& rk : kRuntimeTable) {
-    if (key == rk.key) return rk;
+    if (base == rk.key) {
+      if (base != key) {
+        // Validate spec arguments HERE so every resolver — the sweep, the
+        // fuzzer, and fleet-config validation — rejects a malformed tile
+        // spec (t=0, t=-4, unknown keys) before any device is built.
+        check(base == "tile",
+              "scenario: runtime \"" + base + "\" takes no spec arguments (\"" + key + "\")");
+        flex::parse_tile_spec(key);
+      }
+      return rk;
+    }
   }
   std::string known;
   for (const auto& rk : kRuntimeTable) known += std::string(known.empty() ? "" : "|") + rk.key;
@@ -128,12 +146,15 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
   std::optional<ace::CompiledModel> cm_dense;
   if (rk.adaptive) cm_dense = ace::compile(qms.at(false), dev, /*co_resident=*/true);
 
-  auto policy = rk.make_policy();
+  // Through the spec-aware factory, not rk.make_policy directly — tile's
+  // ":t=N" suffix must reach the policy.
+  auto policy = make_policy(rt_key);
   const double worst_ck = sched::provision_deployment(
       *policy, dev.cost(), cm, cm_dense.has_value() ? &*cm_dense : nullptr,
       continuous ? std::numeric_limits<double>::infinity() : cap->burst_energy());
   flex::RunOptions opts;
   opts.max_reboots = sc.max_reboots;
+  opts.max_futile_boots = sc.max_futile;
   if (!continuous) {
     opts.flex_v_warn = power::warn_voltage_for(cap->config(), worst_ck + 5e-6, 3.0);
   }
@@ -145,6 +166,7 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
   cell.runtime = rt_key;
   cell.scenario = sc.name;
   cell.outcome = st.outcome;
+  cell.livelock = st.livelock;
   cell.on_s = st.on_seconds;
   cell.off_s = st.off_seconds;
   cell.total_s = st.total_seconds();
@@ -161,7 +183,11 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
 }  // namespace
 
 std::unique_ptr<flex::RuntimePolicy> make_policy(const std::string& key) {
-  return runtime_entry(key).make_policy();
+  const RuntimeEntry& e = runtime_entry(key);
+  // Tile is the one parameterized entry: its spec suffix reaches the
+  // policy (validated by runtime_entry above).
+  if (std::string(e.key) == "tile") return flex::make_tile_policy(flex::parse_tile_spec(key));
+  return e.make_policy();
 }
 
 std::unique_ptr<flex::InferenceRuntime> make_runtime(const std::string& key) {
@@ -212,6 +238,9 @@ ScenarioSpec parse_scenario_arg(const std::string& arg) {
       sc.max_off_s = parse_num(arg, key, val);
     } else if (key == "reboots") {
       sc.max_reboots = static_cast<long>(parse_num(arg, key, val));
+    } else if (key == "max_futile") {
+      sc.max_futile = static_cast<long>(parse_num(arg, key, val));
+      check(sc.max_futile >= 0, "scenario \"" + arg + "\": max_futile must be >= 0");
     } else {
       fail("scenario \"" + arg + "\": unknown option \"" + key + "\"");
     }
@@ -312,7 +341,7 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
 }
 
 void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m) {
-  os << "{\n  \"schema\": \"ehdnn-scenarios-v1\",\n";
+  os << "{\n  \"schema\": \"ehdnn-scenarios-v2\",\n";
   os << "  \"seed\": " << m.seed << ",\n";
   auto str_list = [&os](const std::vector<std::string>& v) {
     for (std::size_t i = 0; i < v.size(); ++i) {
@@ -328,7 +357,8 @@ void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m) {
     const ScenarioSpec& sc = m.scenarios[i];
     os << "    {\"name\": " << json_str(sc.name) << ", \"source\": " << json_str(sc.source)
        << ", \"capacitance_f\": " << sc.capacitance_f << ", \"max_off_s\": " << sc.max_off_s
-       << ", \"max_reboots\": " << sc.max_reboots << "}"
+       << ", \"max_reboots\": " << sc.max_reboots << ", \"max_futile\": " << sc.max_futile
+       << "}"
        << (i + 1 < m.scenarios.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"cells\": [\n";
@@ -337,7 +367,8 @@ void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m) {
     os << "    {\"task\": " << json_str(c.task) << ", \"scenario\": " << json_str(c.scenario)
        << ", \"runtime\": " << json_str(c.runtime)
        << ", \"outcome\": " << json_str(flex::outcome_name(c.outcome))
-       << ", \"completed\": " << (c.completed() ? "true" : "false") << ",\n     \"on_s\": "
+       << ", \"completed\": " << (c.completed() ? "true" : "false")
+       << ", \"livelock\": " << (c.livelock ? "true" : "false") << ",\n     \"on_s\": "
        << c.on_s << ", \"off_s\": " << c.off_s << ", \"total_s\": " << c.total_s
        << ", \"energy_j\": " << c.energy_j
        << ", \"checkpoint_energy_j\": " << c.checkpoint_energy_j << ",\n     \"reboots\": "

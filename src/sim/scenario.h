@@ -25,9 +25,14 @@ struct ScenarioSpec {
   double capacitance_f = 10e-6;  // bench_common's paper-regime default
   double max_off_s = 30.0;       // starvation guard while recharging
   long max_reboots = 100000;     // hard cap (livelock guard fires earlier)
+  // Executor livelock watchdog (RunOptions::max_futile_boots): N
+  // consecutive boots banking no commit/checkpoint end the cell as DNF
+  // with the livelock flag. 0 (default) disables it, keeping the
+  // long-standing scenarios byte-stable; the micro-cap scenarios set it.
+  long max_futile = 0;
 };
 
-// Parses `NAME=SOURCE[;cap=FARADS][;max_off=S][;reboots=N]`, e.g.
+// Parses `NAME=SOURCE[;cap=FARADS][;max_off=S][;reboots=N][;max_futile=N]`, e.g.
 //   office-rf=trace:path=traces/rf_office.csv;cap=10e-6
 // Throws ehdnn::Error on a malformed argument.
 ScenarioSpec parse_scenario_arg(const std::string& arg);
@@ -39,6 +44,7 @@ struct ScenarioCell {
   std::string runtime;
   std::string scenario;
   flex::Outcome outcome = flex::Outcome::kDidNotFinish;
+  bool livelock = false;  // DNF via the futile-boot watchdog
   bool completed() const { return outcome == flex::Outcome::kCompleted; }
   double on_s = 0.0;
   double off_s = 0.0;
@@ -70,8 +76,10 @@ struct SweepOptions {
   int jobs = 1;
 };
 
-// Runtime keys, in sweep order: base and sonic/tails execute the dense
-// twin, ace and flex the RAD-compressed deployment model, and the two
+// Runtime keys, in sweep order: base, sonic/tails and tile execute the
+// dense twin ("tile" accepts an optional ":t=N" spec suffix — MACs per
+// sub-layer cursor commit), ace and flex the RAD-compressed deployment
+// model, and the two
 // adaptive keys ship both variants co-resident and pick runtime + variant
 // per boot (sched::AdaptivePolicy) — `adaptive` via the PR-4 income
 // ladder, `adaptive-deadline` via predicted-completion tier selection
@@ -109,7 +117,8 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
                           const std::vector<ScenarioSpec>& scenarios,
                           const SweepOptions& opts = {});
 
-// SCENARIOS.json, schema ehdnn-scenarios-v1 (see BENCHMARKS.md).
+// SCENARIOS.json, schema ehdnn-scenarios-v2 (see BENCHMARKS.md; v2 adds
+// the per-cell "livelock" flag and the scenario "max_futile" option).
 void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m);
 
 }  // namespace ehdnn::sim

@@ -149,7 +149,7 @@ INSTANTIATE_TEST_SUITE_P(Golden, PolicyEquivalence, ::testing::ValuesIn(kGolden)
 // suspended between every slice — must agree exactly: stats, outputs,
 // and the device-side trace totals.
 TEST(Executor, IncrementalDrainMatchesInfer) {
-  for (const char* key : {"base", "sonic", "tails", "flex"}) {
+  for (const char* key : {"base", "sonic", "tails", "flex", "tile", "tile:t=2"}) {
     const bool bcm = std::string(key) == "flex" || std::string(key) == "tails";
     // BASE has no intermittence support: give it a one-burst capacitor so
     // it completes; the checkpointing runtimes get many power cycles.
@@ -335,6 +335,65 @@ TEST(Executor, DnfSurfacesThroughStepApi) {
   EXPECT_FALSE(ex.stats().completed());
   EXPECT_EQ(ex.stats().outcome, Outcome::kDidNotFinish);
   EXPECT_GT(ex.stats().reboots, 0);
+  // This DNF spun to the reboot cap with the watchdog disabled (the
+  // default), so it is NOT flagged as a detected livelock.
+  EXPECT_FALSE(ex.stats().livelock);
+}
+
+TEST(Executor, FutileBootWatchdogFlagsLivelock) {
+  // ACE restarts from scratch every cycle; a capacitor whose burst cannot
+  // push the whole inference through one power cycle therefore banks
+  // nothing, forever. With max_futile_boots set, the executor must end
+  // the run as kDidNotFinish with the livelock flag after exactly that
+  // many futile boots — instead of spinning to max_reboots.
+  Rng rng(1234);
+  const auto qm = dense_model(rng);
+  const auto input = quant::quantize_input(
+      qm, random_tensor(qm.layers.front().in_shape, rng));
+
+  dev::Device dev;
+  power::ConstantSource src(0.5e-3);
+  power::CapacitorConfig cfg;
+  cfg.capacitance_f = 1.0e-6;
+  power::CapacitorSupply cap(src, cfg);
+  dev.attach_supply(&cap);
+  const auto cm = ace::compile(qm, dev);
+
+  auto policy = make_ace_policy();
+  IntermittentExecutor ex(*policy);
+  RunOptions opts;
+  opts.max_reboots = 3000;
+  opts.max_futile_boots = 7;
+  ex.start(dev, cm, input, opts);
+  while (ex.step()) {
+  }
+  EXPECT_FALSE(ex.stats().completed());
+  EXPECT_EQ(ex.stats().outcome, Outcome::kDidNotFinish);
+  EXPECT_TRUE(ex.stats().livelock);
+  // Tripped at the watchdog threshold, far below the reboot cap. ACE's
+  // own patience detector would fire later (its stale-attempt budget is
+  // larger than 7), so the watchdog is what ended this run.
+  EXPECT_LE(ex.stats().reboots, 8);
+
+  // A runtime that banks progress under the SAME supply must complete
+  // with the watchdog armed: banked commits reset the futile counter.
+  dev::Device dev2;
+  power::ConstantSource src2(0.5e-3);
+  power::CapacitorSupply cap2(src2, cfg);
+  dev2.attach_supply(&cap2);
+  const auto cm2 = ace::compile(qm, dev2);
+  auto sonic = make_sonic_policy();
+  IntermittentExecutor ex2(*sonic);
+  RunOptions opts2 = opts;
+  opts2.max_futile_boots = 2;  // tighter than the reboot count below
+  ex2.start(dev2, cm2, input, opts2);
+  while (ex2.step()) {
+  }
+  EXPECT_TRUE(ex2.stats().completed());
+  EXPECT_FALSE(ex2.stats().livelock);
+  // More power cycles than the watchdog budget, yet no trip: every boot
+  // banked at least one commit, so the futile counter kept resetting.
+  EXPECT_GT(ex2.stats().reboots, 2);
 }
 
 }  // namespace

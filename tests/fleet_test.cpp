@@ -150,8 +150,8 @@ FleetConfig admission_fleet() {
   return cfg;
 }
 
-TEST(FleetJson, V3AdmissionGolden) {
-  // The FLEET v3 schema's admission story end to end: real skipped
+TEST(FleetJson, V4AdmissionGolden) {
+  // The FLEET v4 schema's admission story end to end: real skipped
   // releases, the aggregate admission block, the per-job
   // skipped_infeasible verdict with its reclaimed-energy estimate, and
   // the admit-all comparison rerun.
@@ -187,7 +187,7 @@ TEST(FleetJson, V3AdmissionGolden) {
   write_fleet_json(os, r);
   const std::string j = os.str();
   for (const char* needle :
-       {"\"schema\": \"ehdnn-fleet-v3\"", "\"admission\": {\"skipped_infeasible\":",
+       {"\"schema\": \"ehdnn-fleet-v4\"", "\"admission\": {\"skipped_infeasible\":",
         "\"energy_reclaimed_j\":", "\"outcome\": \"skipped_infeasible\"",
         "\"admission_baseline\": [", "\"mode\": \"admit=all\"", "\"jobs_skipped\":"}) {
     EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle;

@@ -1,11 +1,12 @@
 // Crash-consistency fuzzing at scale (the property SONIC/TAILS and
 // Stateful-CNN establish only anecdotally): for ANY failure schedule, an
 // intermittent runtime's output must be bit-identical to its own
-// continuous-power output. The FailureScheduleSupply replays >= 1000
-// seeded schedules across SONIC, TAILS, and FLEX, aiming brown-outs at
-// adversarial instants — mid-block, tearing FRAM progress commits, during
-// FLEX checkpoint writes, and right on commit boundaries — and every run
-// is checked against the continuous oracle.
+// continuous-power output. The FailureScheduleSupply replays >= 1500
+// seeded schedules across SONIC, TAILS, FLEX, and TILE, aiming brown-outs
+// at adversarial instants — mid-block, tearing FRAM progress commits,
+// during FLEX checkpoint writes, inside tile cursor commits (between the
+// double-buffer halves and on the epoch flip), and right on commit
+// boundaries — and every run is checked against the continuous oracle.
 
 #include <gtest/gtest.h>
 
@@ -82,8 +83,12 @@ struct FuzzCase {
   const char* sched_spec = nullptr;
 };
 
-// >= 1000 schedules total, spread so every runtime sees every commit
-// protocol it implements (SONIC is dense-only), FLEX additionally runs
+// >= 1500 schedules total, spread so every runtime sees every commit
+// protocol it implements (SONIC and TILE are dense-only; TILE runs at
+// three tile sizes so schedules tear single-MAC commits, the default
+// grain, and the in-between — brown-outs land inside a tile, between the
+// double-buffered cursor record's halves, and on the epoch-publish word),
+// FLEX additionally runs
 // with an eager (always-warning) and a late (never-warning) monitor, and
 // the adaptive scheduler is forced through ACE->FLEX switch boots — in
 // BOTH selection modes: the income-ladder cases pin tier choice via a
@@ -99,6 +104,9 @@ constexpr FuzzCase kCases[] = {
     {"flex", false, 100, 0x54000, 2.45},
     {"flex", true, 60, 0x55000, 3.5},     // eager: warns every cycle
     {"flex", true, 40, 0x56000, 2.2001},  // late: failures arrive unwarned
+    {"tile", false, 80, 0x5d000, 2.45},
+    {"tile:t=1", false, 40, 0x5e000, 2.45},  // every MAC is a commit
+    {"tile:t=4", false, 60, 0x5f000, 2.45},
     {"adaptive", true, 120, 0x57000, 2.45, "adaptive:fc=const,w=9,rich=5e-3,demote=1"},
     {"adaptive", false, 80, 0x58000, 2.45, "adaptive:fc=const,w=9,rich=5e-3,demote=1"},
     {"adaptive", true, 70, 0x5c000, 2.45, "adaptive:sel=deadline,fc=const,w=9,demote=1"},
@@ -114,10 +122,10 @@ std::unique_ptr<RuntimePolicy> make_case_policy(const FuzzCase& fc) {
   return sim::make_policy(fc.runtime);
 }
 
-TEST(FuzzIntermittent, CoversAtLeastThousandSchedules) {
+TEST(FuzzIntermittent, CoversAtLeastFifteenHundredSchedules) {
   int total = 0;
   for (const auto& c : kCases) total += c.schedules;
-  EXPECT_GE(total, 1000) << "acceptance: >= 1000 seeded schedules";
+  EXPECT_GE(total, 1500) << "acceptance: >= 1500 seeded schedules";
 }
 
 class CrashConsistency : public ::testing::TestWithParam<FuzzCase> {};
@@ -211,6 +219,11 @@ INSTANTIATE_TEST_SUITE_P(Schedules, CrashConsistency, ::testing::ValuesIn(kCases
                          [](const ::testing::TestParamInfo<FuzzCase>& info) {
                            const FuzzCase& c = info.param;
                            std::string name = c.runtime;
+                           // gtest names must be identifiers: "tile:t=4"
+                           // becomes "tile_t_4".
+                           for (char& ch : name) {
+                             if (ch == ':' || ch == '=') ch = '_';
+                           }
                            name += c.bcm_model ? "_bcm" : "_dense";
                            name += "_" + std::to_string(c.schedules);
                            name += "_w" + std::to_string(static_cast<int>(

@@ -199,12 +199,17 @@ TEST(CompletionModelProperty, PredictedOrderingMatchesMeasuredOnContinuousPower)
   const struct {
     const char* key;
     bool dense;
-  } tiers[] = {{"base", true}, {"ace", false}, {"flex", false}, {"sonic", true}};
+  } tiers[] = {{"base", true},
+               {"ace", false},
+               {"flex", false},
+               {"sonic", true},
+               {"tile", true}};
   for (const auto& t : tiers) {
-    auto policy = t.key == std::string("flex")
-                      ? flex::make_flex_policy()
-                      : (t.key == std::string("sonic") ? flex::make_sonic_policy()
-                                                       : flex::make_ace_policy());
+    const std::string key = t.key;
+    auto policy = key == "flex"    ? flex::make_flex_policy()
+                  : key == "sonic" ? flex::make_sonic_policy()
+                  : key == "tile"  ? flex::make_tile_policy()
+                                   : flex::make_ace_policy();
     flex::IntermittentExecutor ex(*policy);
     const flex::RunStats st = ex.run(dev, t.dense ? cm_d : cm_c, input);
     ASSERT_TRUE(st.completed()) << t.key;
@@ -214,7 +219,7 @@ TEST(CompletionModelProperty, PredictedOrderingMatchesMeasuredOnContinuousPower)
   // Predicted: the calibrated completion model with an unbounded burst
   // (continuous power) must order the tiers the same way.
   const CompletionModel m = CompletionModel::calibrate(cm_c, &cm_d, dev.config());
-  ASSERT_EQ(m.tiers().size(), 4u);
+  ASSERT_EQ(m.tiers().size(), 5u);
   auto measured_on = [&](const std::string& key) {
     for (const auto& t : measured) {
       if (t.key == key) return t.on_s;

@@ -201,6 +201,70 @@ TEST(Adaptive, RichForecastPromotesToAce) {
 }
 
 TEST(Adaptive, TinyBurstForcesSonicOnTheDenseTwin) {
+  // The tiny_* pair has a FLEX checkpoint CHEAPER than SONIC's largest
+  // minimal commit, so its forced-sonic band is empty (any burst too
+  // small for FLEX pins straight to tile). A large-k BCM layer makes the
+  // checkpoint payload big while SONIC's dense grain stays a fixed
+  // 16-MAC tile — opening the band this test targets.
+  Rng rng(44);
+  auto build = [&](bool bcm) {
+    nn::Model m;
+    m.add<nn::Conv2D>(1, 2, 3, 3)->init(rng);
+    m.add<nn::ReLU>();
+    m.add<nn::MaxPool2D>();
+    m.add<nn::Flatten>();
+    if (bcm) {
+      m.add<nn::BcmDense>(2 * 8 * 8, 128, 128)->init(rng);
+    } else {
+      m.add<nn::Dense>(2 * 8 * 8, 128)->init(rng);
+    }
+    m.add<nn::ReLU>();
+    m.add<nn::Dense>(128, 4)->init(rng);
+    std::vector<nn::Tensor> calib;
+    for (int i = 0; i < 4; ++i) calib.push_back(random_tensor({1, 18, 18}, rng));
+    return quant::quantize(m, calib, {1, 18, 18});
+  };
+  const auto qm_c = build(true);
+  const auto qm_d = build(false);
+  const auto input =
+      quant::quantize_input(qm_c, random_tensor(qm_c.layers.front().in_shape, rng));
+  const auto oracle_dense = continuous_oracle(qm_d, input);
+
+  auto policy = make_adaptive_policy();
+  dev::Device dev;
+  power::ContinuousPower supply;
+  dev.attach_supply(&supply);
+  const auto cm_c = ace::compile(qm_c, dev);
+  const auto cm_d = ace::compile(qm_d, dev, /*co_resident=*/true);
+  DeploymentImage img;
+  img.compressed = &cm_c;
+  img.dense = &cm_d;
+  // Cannot fund a single FLEX checkpoint, but still covers SONIC's
+  // largest minimal commit (with the default margin) — the band between
+  // the forced-tile and forced-sonic thresholds.
+  const double su = flex::sonic_worst_commit_energy(cm_d, dev.cost());
+  const double ck = flex::worst_checkpoint_energy(cm_c, dev.cost());
+  img.burst_energy_j = 3e-7;
+  ASSERT_GE(img.burst_energy_j, AdaptiveSpec{}.ckpt_margin * su);
+  ASSERT_LT(img.burst_energy_j, AdaptiveSpec{}.ckpt_margin * ck);
+  provision_adaptive(*policy, img);
+
+  flex::IntermittentExecutor ex(*policy);
+  const flex::RunStats st = ex.run(dev, cm_c, input);
+
+  EXPECT_TRUE(st.completed());
+  const auto* ap = as_adaptive(policy.get());
+  EXPECT_EQ(ap->current_runtime(), "sonic");
+  EXPECT_TRUE(ap->on_dense_model());
+  // The executor was armed with the compressed image but the run
+  // completed on the dense twin: the output_model hook must redirect.
+  EXPECT_EQ(st.output, oracle_dense);
+}
+
+TEST(Adaptive, MicroBurstForcesTileBelowSonicsCommitGrain) {
+  // A burst below even SONIC's largest minimal committable unit pins the
+  // ladder to the tile floor: sub-layer cursors are the only strategy
+  // whose commit grain still fits.
   Rng rng(44);
   const auto qm_c = tiny_compressed(rng);
   const auto qm_d = tiny_dense(rng);
@@ -217,7 +281,9 @@ TEST(Adaptive, TinyBurstForcesSonicOnTheDenseTwin) {
   DeploymentImage img;
   img.compressed = &cm_c;
   img.dense = &cm_d;
-  img.burst_energy_j = 1e-9;  // cannot fund a single FLEX checkpoint
+  img.burst_energy_j = 1e-9;  // below one SONIC conv-pixel commit
+  ASSERT_LT(img.burst_energy_j,
+            AdaptiveSpec{}.ckpt_margin * flex::sonic_worst_commit_energy(cm_d, dev.cost()));
   provision_adaptive(*policy, img);
 
   flex::IntermittentExecutor ex(*policy);
@@ -225,10 +291,8 @@ TEST(Adaptive, TinyBurstForcesSonicOnTheDenseTwin) {
 
   EXPECT_TRUE(st.completed());
   const auto* ap = as_adaptive(policy.get());
-  EXPECT_EQ(ap->current_runtime(), "sonic");
+  EXPECT_EQ(ap->current_runtime(), "tile");
   EXPECT_TRUE(ap->on_dense_model());
-  // The executor was armed with the compressed image but the run
-  // completed on the dense twin: the output_model hook must redirect.
   EXPECT_EQ(st.output, oracle_dense);
 }
 
@@ -452,11 +516,20 @@ TEST(FleetConfig, RejectsMalformedEntries) {
   EXPECT_THROW(parse("group count=1e12\n"), Error);
   EXPECT_THROW(parse("fleet seed=xyz\ngroup count=1\n"), Error);
   EXPECT_THROW(parse("fleet seed=12oops\ngroup count=1\n"), Error);
+  // Tile runtime specs: zero/negative/fractional tile sizes and unknown
+  // spec keys are config errors; so is a spec suffix on a runtime that
+  // takes none. The watchdog knob must be non-negative.
+  EXPECT_THROW(parse("group count=1 runtime=tile:t=0\n"), Error);
+  EXPECT_THROW(parse("group count=1 runtime=tile:t=-4\n"), Error);
+  EXPECT_THROW(parse("group count=1 runtime=tile:t=1.5\n"), Error);
+  EXPECT_THROW(parse("group count=1 runtime=tile:bogus=1\n"), Error);
+  EXPECT_THROW(parse("group count=1 runtime=flex:t=2\n"), Error);
+  EXPECT_THROW(parse("group count=1 max_futile=-1\n"), Error);
 }
 
-// --------------------------------------------------- FLEET.json v3 schema
+// --------------------------------------------------- FLEET.json v4 schema
 
-TEST(FleetJson, V3SchemaGolden) {
+TEST(FleetJson, V4SchemaGolden) {
   sim::FleetConfig cfg;
   cfg.source = "square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5";
   cfg.offset_spread_s = 0.02;
@@ -475,11 +548,13 @@ TEST(FleetJson, V3SchemaGolden) {
   std::ostringstream os;
   sim::write_fleet_json(os, r);
   const std::string j = os.str();
-  // Schema marker and every v2-carried plus v3-added field family must be
-  // present (v3 adds the admission block, per-device jobs_skipped, and
-  // per-job energy_reclaimed_j).
+  // Schema marker and every carried field family must be present (v3
+  // added the admission block, per-device jobs_skipped, and per-job
+  // energy_reclaimed_j; v4 adds the per-group max_futile echo and the
+  // "livelock" verdict).
   for (const char* needle :
-       {"\"schema\": \"ehdnn-fleet-v3\"", "\"groups\":", "\"aggregate\":", "\"baselines\":",
+       {"\"schema\": \"ehdnn-fleet-v4\"", "\"max_futile\":", "\"groups\":", "\"aggregate\":",
+        "\"baselines\":",
         "\"per_device\":", "\"total_jobs\":", "\"in_deadline\":", "\"deadline_rate\":",
         "\"latency_p50_s\":", "\"latency_p99_s\":", "\"staleness_p50_s\":",
         "\"staleness_p99_s\":", "\"tier_switches\":", "\"jobs\": [", "\"release_s\":",
@@ -492,6 +567,7 @@ TEST(FleetJson, V3SchemaGolden) {
   // Older schema ids are gone.
   EXPECT_EQ(j.find("ehdnn-fleet-v1"), std::string::npos);
   EXPECT_EQ(j.find("ehdnn-fleet-v2"), std::string::npos);
+  EXPECT_EQ(j.find("ehdnn-fleet-v3"), std::string::npos);
 }
 
 }  // namespace

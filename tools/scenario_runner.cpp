@@ -53,6 +53,29 @@ std::vector<sim::ScenarioSpec> default_scenarios(bool with_traces) {
       // the periodic forecaster exists for — deadline-mode tier selection
       // must ride the income swings rather than average them away.
       "square-periodic=square:hi=5e-3,lo=0.1e-3,period=0.4,duty=0.5",
+      // Micro-capacitor brown-out ladder (BENCHMARKS.md "Tile runtime").
+      // The stored burst is 3.025 J/F x C and the 400-cycle boot sequence
+      // alone costs ~142.5 nJ, so the ladder brackets the boot-cost floor:
+      //   40 nF  (~121 nJ): below the floor — no runtime can bank a unit;
+      //          every intermittence-capable runtime trips the futile-boot
+      //          watchdog (bounded livelock DNF, not a 400k-reboot spin).
+      //   50 nF  (~151 nJ): ~9 nJ of stored swing past boot. Only the tile
+      //          runtime's reduction-tile commits are small enough to ride
+      //          the hi-phase income from there; sonic/tails/flex livelock.
+      //   80 nF  (~242 nJ): the decisive row — comfortably above the boot
+      //          cost, still below SONIC's smallest loop commit. tile (and
+      //          the adaptive ladder, which floors to it) completes; every
+      //          per-element runtime livelocks.
+      //   120 nF (~363 nJ): SONIC's conv loop commits fit again — the tile
+      //          advantage window closing from above.
+      "microcap-40nF=square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5"
+      ";cap=40e-9;max_futile=400;reboots=400000",
+      "microcap-50nF=square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5"
+      ";cap=50e-9;max_futile=400;reboots=400000",
+      "microcap-80nF=square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5"
+      ";cap=80e-9;max_futile=400;reboots=400000",
+      "microcap-120nF=square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5"
+      ";cap=120e-9;max_futile=400;reboots=400000",
   };
   if (with_traces) {
     args.push_back("office-rf=trace:path=traces/rf_office.csv");
@@ -70,8 +93,8 @@ std::vector<sim::ScenarioSpec> default_scenarios(bool with_traces) {
 int usage() {
   std::fprintf(stderr,
                "usage: scenario_runner [--out FILE] [--tasks mnist,har,okg]\n"
-               "         [--runtimes base,ace,sonic,tails,flex,adaptive,adaptive-deadline]\n"
-               "         [--scenario NAME=SPEC[;cap=F][;max_off=S][;reboots=N]]...\n"
+               "         [--runtimes base,ace,sonic,tails,flex,tile[:t=N],adaptive,adaptive-deadline]\n"
+               "         [--scenario NAME=SPEC[;cap=F][;max_off=S][;reboots=N][;max_futile=N]]...\n"
                "         [--jobs N] [--no-traces] [--smoke] [--smoke-sched] [--quiet]\n"
                "         [--list-runtimes] [--list-sources]\n");
   return 2;
