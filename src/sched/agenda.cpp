@@ -1,5 +1,6 @@
 #include "sched/agenda.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +29,10 @@ JobQueue::JobQueue(dev::Device& dev, flex::RuntimePolicy& policy,
             job_inputs->size() == static_cast<std::size_t>(agenda.jobs),
         "JobQueue: need one input per job");
   if (const AdaptivePolicy* ap = as_adaptive(policy_)) last_switches_ = ap->tier_switches();
-  arm_next();
+  // The queue starts parked on job 0's release (t=0): arming — the park,
+  // the admission decision, the executor start — happens in the first
+  // step(), not here, so a fleet engine can hold thousands of queues and
+  // only pay for the ones whose release instant has arrived.
 }
 
 bool JobQueue::should_skip(double* reclaimed_j) {
@@ -130,17 +134,32 @@ void JobQueue::record_finished() {
   records_.push_back(std::move(r));
 }
 
+double JobQueue::next_time_s() const {
+  if (done_) return std::numeric_limits<double>::infinity();
+  if (parked_) {
+    const double release =
+        static_cast<double>(records_.size()) * agenda_.period_s;
+    return std::max(release, dev_->supply()->now());
+  }
+  return ex_.next_actionable_s();
+}
+
 bool JobQueue::step() {
   if (done_) return false;
   ++steps_;
+  if (parked_) {
+    arm_next();  // may finish the agenda by skipping every remaining release
+    if (!done_) parked_ = false;
+    return !done_;
+  }
   if (ex_.step()) return true;
   record_finished();
   if (static_cast<int>(records_.size()) >= agenda_.jobs) {
     done_ = true;
     return false;
   }
-  arm_next();  // may finish the agenda by skipping every remaining release
-  return !done_;
+  parked_ = true;  // next step parks to the following release and re-arms
+  return true;
 }
 
 }  // namespace ehdnn::sched

@@ -78,11 +78,23 @@ class JobQueue {
            const DeviceAgenda& agenda,
            const std::vector<std::vector<fx::q15_t>>* job_inputs);
 
-  // Advances by one executor slice (or one job transition). Returns true
-  // while the agenda has work left; a finished queue returns false.
+  // Advances by one bounded slice. While parked, one step parks the
+  // supply to the pending release (income accrues, nothing is drawn),
+  // runs admission, and arms the executor; while a run is live, one step
+  // is one executor slice. Returns true while the agenda has work left;
+  // a finished queue returns false.
   bool step();
 
   bool finished() const { return done_; }
+
+  // The next instant (supply time) at which step() will do real work:
+  // the pending release while parked (or the supply's current time if the
+  // release is already past), the live run's next actionable instant
+  // otherwise, +infinity once the agenda is done. The fleet's next-event
+  // engine keys its priority queue on this, which is what lets parked
+  // devices cost zero slices.
+  double next_time_s() const;
+
   const std::vector<JobRecord>& records() const { return records_; }
   long steps() const { return steps_; }
 
@@ -108,6 +120,7 @@ class JobQueue {
   long last_switches_ = 0;
   long steps_ = 0;
   int consecutive_skips_ = 0;  // admission probe valve (see should_skip)
+  bool parked_ = true;         // next step arms (parks + admits) rather than slices
   bool done_ = false;
 };
 

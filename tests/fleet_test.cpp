@@ -1,10 +1,13 @@
-// Fleet harness (sim/fleet.h) and parallel sweep (SweepOptions::jobs):
+// Fleet engine (sim/fleet.h) and parallel sweep (SweepOptions::jobs):
 // the fleet runs heterogeneous groups of duty-cycled devices through the
-// incremental executor API, and both the fleet and the sweep must produce
-// identical artifacts for any worker count.
+// incremental executor API, and every execution path — the next-event
+// engine, the legacy round-robin loop, worker pools, process shards —
+// must produce identical artifacts.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "sim/fleet.h"
@@ -77,16 +80,126 @@ TEST(Fleet, DeterministicAcrossRunsAndWorkerCounts) {
   serial.jobs = 1;
   FleetRunOptions parallel;
   parallel.jobs = 3;
+  FleetRunOptions tight_window;  // event engine forced to evict and re-admit
+  tight_window.max_resident = 2;
   const FleetReport a = run_fleet(tiny_fleet(), serial);
   const FleetReport b = run_fleet(tiny_fleet(), parallel);
   const FleetReport c = run_fleet(tiny_fleet(), serial);
+  const FleetReport d = run_fleet(tiny_fleet(), tight_window);
   ASSERT_EQ(a.devices.size(), b.devices.size());
-  std::ostringstream ja, jb, jc;
+  std::ostringstream ja, jb, jc, jd;
   write_fleet_json(ja, a);
   write_fleet_json(jb, b);
   write_fleet_json(jc, c);
+  write_fleet_json(jd, d);
   EXPECT_EQ(ja.str(), jb.str()) << "FLEET.json must be byte-identical for any worker count";
   EXPECT_EQ(ja.str(), jc.str()) << "FLEET.json must be byte-identical across reruns";
+  EXPECT_EQ(ja.str(), jd.str()) << "FLEET.json must be byte-identical for any resident window";
+}
+
+// The new engine's ordering (pop the device with the globally-minimal
+// next actionable instant) against the old loop's (one slice per live
+// device per round): devices are independent, so the artifacts must be
+// bit-exact — on the committed heterogeneous population and on the
+// micro-capacitor ladder whose livelocks exercise every verdict path.
+TEST(Fleet, EventEngineMatchesLegacyRoundRobin) {
+  for (const char* path : {"configs/fleet_hetero.cfg", "configs/fleet_microcap.cfg"}) {
+    const FleetConfig cfg = parse_fleet_config_file(path);
+    FleetRunOptions event_opts;
+    FleetRunOptions legacy_opts;
+    legacy_opts.legacy_round_robin = true;
+    const FleetReport ev = run_fleet(cfg, event_opts);
+    const FleetReport rr = run_fleet(cfg, legacy_opts);
+    std::ostringstream jev, jrr;
+    write_fleet_json(jev, ev);
+    write_fleet_json(jrr, rr);
+    EXPECT_EQ(jev.str(), jrr.str()) << path << ": event engine diverged from round-robin";
+  }
+}
+
+// A FleetSink attached through the public API sees every device exactly
+// once, and merge() folds two sinks' observations together.
+struct CountingSink final : FleetSink {
+  int records = 0;
+  int total_jobs = 0;
+  void record(const FleetDeviceResult& d) override {
+    ++records;
+    total_jobs += d.jobs_total;
+  }
+  void merge(const FleetSink& other) override {
+    const auto& o = dynamic_cast<const CountingSink&>(other);
+    records += o.records;
+    total_jobs += o.total_jobs;
+  }
+  void finalize() override {}
+};
+
+TEST(Fleet, SinksObserveEveryDevice) {
+  CountingSink sink;
+  const FleetReport r = FleetEngine(tiny_fleet()).add_sink(sink).run();
+  EXPECT_EQ(sink.records, 6);
+  EXPECT_EQ(sink.total_jobs, r.total_jobs);
+  CountingSink other;
+  other.records = 4;
+  other.total_jobs = 10;
+  sink.merge(other);
+  EXPECT_EQ(sink.records, 10);
+  EXPECT_EQ(sink.total_jobs, r.total_jobs + 10);
+}
+
+std::string run_as_shards(const FleetConfig& cfg, int shards) {
+  std::vector<std::string> paths;
+  for (int s = 0; s < shards; ++s) {
+    const std::string path = testing::TempDir() + "fleet_shard_" +
+                             std::to_string(shards) + "_" + std::to_string(s) + ".part";
+    std::ofstream f(path);
+    FleetEngine(cfg).run_shard(f, s, shards);
+    paths.push_back(path);
+  }
+  const FleetReport merged = merge_fleet_shards(paths);
+  for (const auto& p : paths) std::remove(p.c_str());
+  std::ostringstream os;
+  write_fleet_json(os, merged);
+  return os.str();
+}
+
+TEST(Fleet, ShardedRunMergesToTheIdenticalArtifact) {
+  const FleetConfig cfg = tiny_fleet();
+  std::ostringstream whole;
+  write_fleet_json(whole, run_fleet(cfg));
+  EXPECT_EQ(run_as_shards(cfg, 1), whole.str());
+  EXPECT_EQ(run_as_shards(cfg, 3), whole.str())
+      << "merged shards must be byte-identical to the unsharded artifact";
+
+  // Aggregate detail mode: the same contract with per_device dropped.
+  FleetConfig agg_cfg = cfg;
+  agg_cfg.per_device_detail = false;
+  std::ostringstream agg_whole;
+  const FleetReport agg_report = run_fleet(agg_cfg);
+  EXPECT_TRUE(agg_report.devices.empty());
+  EXPECT_EQ(agg_report.total_jobs, 6);
+  write_fleet_json(agg_whole, agg_report);
+  EXPECT_NE(agg_whole.str().find("\"detail\": \"aggregate\""), std::string::npos);
+  EXPECT_NE(agg_whole.str().find("\"per_device\": []"), std::string::npos);
+  EXPECT_EQ(run_as_shards(agg_cfg, 2), agg_whole.str());
+}
+
+TEST(Fleet, ConfigRoundTripsThroughWriter) {
+  FleetConfig cfg = tiny_fleet();
+  cfg.groups[0].sched_spec = "";
+  cfg.per_device_detail = false;
+  std::ostringstream os;
+  write_fleet_config(os, cfg);
+  std::istringstream is(os.str());
+  const FleetConfig back = parse_fleet_config(is);
+  std::ostringstream os2;
+  write_fleet_config(os2, back);
+  EXPECT_EQ(os.str(), os2.str());
+  EXPECT_EQ(back.seed, cfg.seed);
+  EXPECT_FALSE(back.per_device_detail);
+  ASSERT_EQ(back.groups.size(), 1u);
+  EXPECT_EQ(back.groups[0].name, "tiny");
+  EXPECT_EQ(back.groups[0].agenda.jobs, cfg.groups[0].agenda.jobs);
 }
 
 TEST(Fleet, DutyCycledAgendaReleasesOnSchedule) {
@@ -150,8 +263,8 @@ FleetConfig admission_fleet() {
   return cfg;
 }
 
-TEST(FleetJson, V4AdmissionGolden) {
-  // The FLEET v4 schema's admission story end to end: real skipped
+TEST(FleetJson, V5AdmissionGolden) {
+  // The FLEET v5 schema's admission story end to end: real skipped
   // releases, the aggregate admission block, the per-job
   // skipped_infeasible verdict with its reclaimed-energy estimate, and
   // the admit-all comparison rerun.
@@ -187,9 +300,11 @@ TEST(FleetJson, V4AdmissionGolden) {
   write_fleet_json(os, r);
   const std::string j = os.str();
   for (const char* needle :
-       {"\"schema\": \"ehdnn-fleet-v4\"", "\"admission\": {\"skipped_infeasible\":",
+       {"\"schema\": \"ehdnn-fleet-v5\"", "\"admission\": {\"skipped_infeasible\":",
         "\"energy_reclaimed_j\":", "\"outcome\": \"skipped_infeasible\"",
-        "\"admission_baseline\": [", "\"mode\": \"admit=all\"", "\"jobs_skipped\":"}) {
+        "\"admission_baseline\": [", "\"mode\": \"admit=all\"", "\"jobs_skipped\":",
+        "\"detail\": \"full\"", "\"percentiles\": \"qsketch\"", "\"sketch_rel_err\": 0.01",
+        "\"livelock\":", "\"total_steps\":"}) {
     EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle;
   }
 }

@@ -499,7 +499,14 @@ TEST(FleetConfig, RejectsMalformedEntries) {
   EXPECT_THROW(parse("group count=2 runtime=warp\n"), Error);     // unknown runtime key
   EXPECT_THROW(parse("group count=2 task=sudoku\n"), Error);      // unknown task
   EXPECT_THROW(parse("group count=0\n"), Error);                  // empty group
+  EXPECT_THROW(parse("group name=a count=0\ngroup name=b count=2\n"), Error);  // count=0 anywhere
+  // Duplicate group names would make per_device rows and baseline
+  // comparisons ambiguous; explicit and default-assigned names collide too.
+  EXPECT_THROW(parse("group name=twin count=1\ngroup name=twin count=2\n"), Error);
+  EXPECT_THROW(parse("group name=group1 count=1\ngroup count=1\n"), Error);
   EXPECT_THROW(parse("group count=2 bogus=1\n"), Error);          // unknown key
+  // fleet-line detail must be one of the two modes.
+  EXPECT_THROW(parse("fleet detail=everything\ngroup count=1\n"), Error);
   EXPECT_THROW(parse("group count=2 cap\n"), Error);              // not key=value
   EXPECT_THROW(parse("squadron count=2\n"), Error);               // unknown directive
   EXPECT_THROW(parse("group count=2 count=3\n"), Error);          // duplicate key
@@ -527,9 +534,9 @@ TEST(FleetConfig, RejectsMalformedEntries) {
   EXPECT_THROW(parse("group count=1 max_futile=-1\n"), Error);
 }
 
-// --------------------------------------------------- FLEET.json v4 schema
+// --------------------------------------------------- FLEET.json v5 schema
 
-TEST(FleetJson, V4SchemaGolden) {
+TEST(FleetJson, V5SchemaGolden) {
   sim::FleetConfig cfg;
   cfg.source = "square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5";
   cfg.offset_spread_s = 0.02;
@@ -550,10 +557,13 @@ TEST(FleetJson, V4SchemaGolden) {
   const std::string j = os.str();
   // Schema marker and every carried field family must be present (v3
   // added the admission block, per-device jobs_skipped, and per-job
-  // energy_reclaimed_j; v4 adds the per-group max_futile echo and the
-  // "livelock" verdict).
+  // energy_reclaimed_j; v4 added the per-group max_futile echo and the
+  // "livelock" verdict; v5 adds the detail mode, sketch-based percentile
+  // provenance, and the aggregate livelock/total_steps counters).
   for (const char* needle :
-       {"\"schema\": \"ehdnn-fleet-v4\"", "\"max_futile\":", "\"groups\":", "\"aggregate\":",
+       {"\"schema\": \"ehdnn-fleet-v5\"", "\"detail\": \"full\"",
+        "\"percentiles\": \"qsketch\"", "\"sketch_rel_err\":", "\"total_steps\":",
+        "\"max_futile\":", "\"groups\":", "\"aggregate\":",
         "\"baselines\":",
         "\"per_device\":", "\"total_jobs\":", "\"in_deadline\":", "\"deadline_rate\":",
         "\"latency_p50_s\":", "\"latency_p99_s\":", "\"staleness_p50_s\":",
@@ -568,6 +578,7 @@ TEST(FleetJson, V4SchemaGolden) {
   EXPECT_EQ(j.find("ehdnn-fleet-v1"), std::string::npos);
   EXPECT_EQ(j.find("ehdnn-fleet-v2"), std::string::npos);
   EXPECT_EQ(j.find("ehdnn-fleet-v3"), std::string::npos);
+  EXPECT_EQ(j.find("ehdnn-fleet-v4"), std::string::npos);
 }
 
 }  // namespace

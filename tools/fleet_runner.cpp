@@ -1,41 +1,35 @@
 // Fleet-simulation CLI: runs a population of independent intermittent
 // devices — homogeneous via flags, heterogeneous and duty-cycled via a
-// fleet config file — against time-offset views of one harvest
-// environment, and writes FLEET.json (schema ehdnn-fleet-v2; see
-// BENCHMARKS.md "Fleet"). Run from the repo root so trace paths resolve:
+// fleet config file — on the event-driven fleet engine, and writes
+// FLEET.json (schema ehdnn-fleet-v5; see BENCHMARKS.md "Fleet"). Run
+// from the repo root so trace paths resolve:
 //
 //   ./build/fleet_runner --out FLEET.json               # 64-dev office RF
 //   ./build/fleet_runner --config configs/fleet_hetero.cfg --jobs 4
 //   ./build/fleet_runner --config configs/fleet_hetero.cfg --compare-fixed
 //   ./build/fleet_runner --devices 256 --task har --runtime tails
-//   ./build/fleet_runner --list-runtimes
+//
+// Populations too big for one process split into shard partials that
+// merge into byte-identical JSON (any shard count, including 1):
+//
+//   ./build/fleet_runner --config big.cfg --shards 4 --shard 0 --out s0.part
+//   ...                                             --shard 3 --out s3.part
+//   ./build/fleet_runner --merge --out FLEET.json s0.part s1.part s2.part s3.part
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
-#include "power/factory.h"
+#include "models/zoo.h"
 #include "sim/fleet.h"
 #include "sim/scenario.h"
 #include "util/check.h"
-
-namespace {
+#include "util/cli.h"
+#include "util/parse.h"
 
 using namespace ehdnn;
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: fleet_runner [--out FILE] [--config FILE] [--jobs N] [--compare-fixed]\n"
-      "         [--compare-admission]\n"
-      "         [--devices N] [--task mnist|har|okg] [--runtime KEY] [--source SPEC]\n"
-      "         [--cap FARADS] [--max-off S] [--njobs N] [--period S] [--deadline S]\n"
-      "         [--spread S] [--seed N] [--quiet] [--list-runtimes] [--list-sources]\n");
-  return 2;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "FLEET.json";
@@ -43,6 +37,9 @@ int main(int argc, char** argv) {
   sim::FleetRunOptions ropts;
   ropts.verbose = true;
   bool compare_fixed = false;
+  int shards = 1, shard = -1;
+  bool merge = false;
+  std::vector<std::string> merge_inputs;
 
   // Homogeneous flag-built config; mutually exclusive with --config (a
   // silently ignored --seed or --devices would be worse than an error).
@@ -50,95 +47,109 @@ int main(int argc, char** argv) {
   flag_group.name = "fleet";
   flag_group.count = 64;
   sim::FleetConfig flag_cfg;
-  const char* population_flag = nullptr;  // last population flag seen
+  std::string population_flag;  // last population flag seen
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "fleet_runner: %s needs a value\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
+  CliParser p("fleet_runner",
+              "Runs a fleet of independent intermittent devices against time-offset\n"
+              "views of one harvest environment and writes FLEET.json "
+              "(ehdnn-fleet-v5).");
+  p.str("--out", "FILE", "output path (JSON, or the shard partial)", &out_path);
+  p.str("--config", "FILE", "fleet config file (heterogeneous populations)",
+        &config_path);
+  p.int_min("--jobs", "N", "worker threads (same bytes for any N)", &ropts.jobs, 1);
+  p.int_min("--max-resident", "N", "event-engine resident-device window",
+            &ropts.max_resident, 1);
+  p.toggle("--compare-fixed", "re-run with every fixed runtime as a baseline",
+           &compare_fixed);
+  p.toggle("--compare-admission", "re-run with energy-budgeted admission off",
+           &ropts.compare_admission);
+  p.int_min("--shards", "N", "split the population into N process shards", &shards, 1);
+  p.int_min("--shard", "I", "run shard I (0-based) and write its partial", &shard, 0);
+  p.toggle("--merge", "merge shard partials (the bare arguments) into JSON", &merge);
+  // The homogeneous-population flags; each remembers itself for the
+  // --config conflict diagnostic.
+  auto pop = [&](const char* flag, auto set) {
+    return [&population_flag, flag, set](const std::string& v) {
+      population_flag = flag;
+      set(v);
     };
-    if (arg == "--out") {
-      out_path = next();
-    } else if (arg == "--config") {
-      config_path = next();
-    } else if (arg == "--jobs") {
-      ropts.jobs = std::atoi(next());
-      if (ropts.jobs < 1) {
-        std::fprintf(stderr, "fleet_runner: --jobs needs a positive integer\n");
-        return 2;
-      }
-    } else if (arg == "--compare-fixed") {
-      compare_fixed = true;
-    } else if (arg == "--compare-admission") {
-      ropts.compare_admission = true;
-    } else if (arg == "--devices") {
-      population_flag = "--devices";
-      flag_group.count = std::atoi(next());
-      if (flag_group.count < 1) {
-        std::fprintf(stderr, "fleet_runner: --devices needs a positive integer\n");
-        return 2;
-      }
-    } else if (arg == "--task") {
-      population_flag = "--task";
-      try {
-        flag_group.task = models::parse_task(next());
-      } catch (const Error& e) {
-        std::fprintf(stderr, "fleet_runner: %s\n", e.what());
-        return 2;
-      }
-    } else if (arg == "--runtime") {
-      population_flag = "--runtime";
-      flag_group.agenda.runtime = next();
-    } else if (arg == "--source") {
-      population_flag = "--source";
-      flag_cfg.source = next();
-    } else if (arg == "--cap") {
-      population_flag = "--cap";
-      flag_group.capacitance_f = std::atof(next());
-    } else if (arg == "--max-off") {
-      population_flag = "--max-off";
-      flag_group.max_off_s = std::atof(next());
-    } else if (arg == "--njobs") {
-      population_flag = "--njobs";
-      flag_group.agenda.jobs = std::atoi(next());
-    } else if (arg == "--period") {
-      population_flag = "--period";
-      flag_group.agenda.period_s = std::atof(next());
-    } else if (arg == "--deadline") {
-      population_flag = "--deadline";
-      flag_group.agenda.deadline_s = std::atof(next());
-    } else if (arg == "--spread") {
-      population_flag = "--spread";
-      flag_cfg.offset_spread_s = std::atof(next());
-    } else if (arg == "--seed") {
-      population_flag = "--seed";
-      flag_cfg.seed = std::strtoull(next(), nullptr, 0);
-    } else if (arg == "--quiet") {
-      ropts.verbose = false;
-    } else if (arg == "--list-runtimes") {
-      for (const auto& k : sim::all_runtime_keys()) std::printf("%s\n", k.c_str());
-      return 0;
-    } else if (arg == "--list-sources") {
-      for (const auto& k : power::harvest_source_kinds()) std::printf("%s\n", k.c_str());
-      return 0;
-    } else {
-      return usage();
-    }
-  }
+  };
+  auto to_num = [](const char* flag, const std::string& v) {
+    const auto d = parse_double(v);
+    check(d.has_value(), std::string(flag) + " needs a number, got \"" + v + "\"");
+    return *d;
+  };
+  p.value("--devices", "N", "population size (flag-built fleets)",
+          pop("--devices", [&](const std::string& v) {
+            flag_group.count = static_cast<int>(to_num("--devices", v));
+            check(flag_group.count >= 1, "--devices needs a positive integer");
+          }));
+  p.value("--task", "mnist|har|okg", "inference task",
+          pop("--task",
+              [&](const std::string& v) { flag_group.task = models::parse_task(v); }));
+  p.value("--runtime", "KEY", "runtime key (see --list-runtimes)",
+          pop("--runtime", [&](const std::string& v) { flag_group.agenda.runtime = v; }));
+  p.value("--source", "SPEC", "harvest source spec",
+          pop("--source", [&](const std::string& v) { flag_cfg.source = v; }));
+  p.value("--cap", "FARADS", "per-device capacitance",
+          pop("--cap",
+              [&](const std::string& v) { flag_group.capacitance_f = to_num("--cap", v); }));
+  p.value("--max-off", "S", "starvation guard (max continuous off-time)",
+          pop("--max-off",
+              [&](const std::string& v) { flag_group.max_off_s = to_num("--max-off", v); }));
+  p.value("--njobs", "N", "jobs per device agenda",
+          pop("--njobs", [&](const std::string& v) {
+            flag_group.agenda.jobs = static_cast<int>(to_num("--njobs", v));
+          }));
+  p.value("--period", "S", "agenda release period",
+          pop("--period",
+              [&](const std::string& v) { flag_group.agenda.period_s = to_num("--period", v); }));
+  p.value("--deadline", "S", "per-job deadline",
+          pop("--deadline", [&](const std::string& v) {
+            flag_group.agenda.deadline_s = to_num("--deadline", v);
+          }));
+  p.value("--spread", "S", "harvest offset spread across the population",
+          pop("--spread",
+              [&](const std::string& v) { flag_cfg.offset_spread_s = to_num("--spread", v); }));
+  p.value("--seed", "N", "population seed",
+          pop("--seed", [&](const std::string& v) {
+            flag_cfg.seed = std::strtoull(v.c_str(), nullptr, 0);
+          }));
+  p.toggle("--quiet", "suppress the per-device progress lines", &ropts.verbose, false);
+  add_listing_flags(p);
+  p.positionals("PARTIAL", "shard partial files to --merge",
+                [&](const std::string& v) { merge_inputs.push_back(v); });
 
-  if (!config_path.empty() && population_flag != nullptr) {
+  if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
+
+  if (!config_path.empty() && !population_flag.empty()) {
     std::fprintf(stderr,
                  "fleet_runner: %s conflicts with --config (the population comes from the "
                  "config file; edit it instead)\n",
-                 population_flag);
+                 population_flag.c_str());
+    return 2;
+  }
+  if (!merge && !merge_inputs.empty()) {
+    std::fprintf(stderr, "fleet_runner: bare arguments are only valid with --merge\n");
     return 2;
   }
 
   try {
+    if (merge) {
+      check(merge_inputs.size() >= 1, "--merge needs at least one partial file");
+      check(config_path.empty() && population_flag.empty() && shards == 1 && shard < 0 &&
+                !compare_fixed && !ropts.compare_admission,
+            "--merge takes only --out and the partial files (the population is "
+            "echoed inside the partials)");
+      const sim::FleetReport r = sim::merge_fleet_shards(merge_inputs);
+      std::ofstream f(out_path);
+      check(f.good(), "cannot write " + out_path);
+      sim::write_fleet_json(f, r);
+      std::fprintf(stderr, "fleet_runner: merged %zu shards, %d devices -> %s\n",
+                   merge_inputs.size(), r.config.total_devices(), out_path.c_str());
+      return 0;
+    }
+
     sim::FleetConfig cfg;
     if (!config_path.empty()) {
       cfg = sim::parse_fleet_config_file(config_path);
@@ -146,6 +157,21 @@ int main(int argc, char** argv) {
       flag_cfg.groups.push_back(flag_group);
       cfg = flag_cfg;
     }
+
+    if (shard >= 0 || shards > 1) {
+      check(shard >= 0, "--shards needs --shard I (which shard is this process?)");
+      check(shard < shards, "--shard must be < --shards");
+      check(!compare_fixed && !ropts.compare_admission,
+            "baseline reruns are whole-population; run them on the merged config "
+            "without --shards");
+      std::ofstream f(out_path);
+      check(f.good(), "cannot write " + out_path);
+      sim::FleetEngine(cfg).run_shard(f, shard, shards, ropts);
+      std::fprintf(stderr, "fleet_runner: shard %d/%d -> %s\n", shard, shards,
+                   out_path.c_str());
+      return 0;
+    }
+
     if (compare_fixed) {
       // Every fixed key from the runtime table (the adaptive key is the
       // subject, not a baseline).
@@ -157,10 +183,7 @@ int main(int argc, char** argv) {
     const sim::FleetReport r = sim::run_fleet(cfg, ropts);
 
     std::ofstream f(out_path);
-    if (!f.good()) {
-      std::fprintf(stderr, "fleet_runner: cannot write %s\n", out_path.c_str());
-      return 1;
-    }
+    check(f.good(), "cannot write " + out_path);
     sim::write_fleet_json(f, r);
     std::fprintf(stderr,
                  "fleet_runner: %d devices, %d jobs -> %d completed (%.1f%%), %d in "

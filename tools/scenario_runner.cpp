@@ -14,16 +14,14 @@
 // --smoke runs a two-scenario ace/flex MNIST sweep (the ctest entry).
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "power/factory.h"
 #include "sim/scenario.h"
 #include "util/check.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -90,16 +88,6 @@ std::vector<sim::ScenarioSpec> default_scenarios(bool with_traces) {
   return out;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: scenario_runner [--out FILE] [--tasks mnist,har,okg]\n"
-               "         [--runtimes base,ace,sonic,tails,flex,tile[:t=N],adaptive,adaptive-deadline]\n"
-               "         [--scenario NAME=SPEC[;cap=F][;max_off=S][;reboots=N][;max_futile=N]]...\n"
-               "         [--jobs N] [--no-traces] [--smoke] [--smoke-sched] [--quiet]\n"
-               "         [--list-runtimes] [--list-sources]\n");
-  return 2;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,53 +101,30 @@ int main(int argc, char** argv) {
   sim::SweepOptions opts;
   opts.verbose = true;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "scenario_runner: %s needs a value\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--out") {
-      out_path = next();
-    } else if (arg == "--tasks") {
-      tasks.clear();
-      try {
-        for (const auto& t : split_csv(next())) tasks.push_back(models::parse_task(t));
-      } catch (const Error& e) {
-        std::fprintf(stderr, "scenario_runner: %s\n", e.what());
-        return 2;
-      }
-    } else if (arg == "--runtimes") {
-      runtimes = split_csv(next());
-    } else if (arg == "--scenario") {
-      scenarios.push_back(sim::parse_scenario_arg(next()));
-    } else if (arg == "--jobs") {
-      opts.jobs = std::atoi(next());
-      if (opts.jobs < 1) {
-        std::fprintf(stderr, "scenario_runner: --jobs needs a positive integer\n");
-        return 2;
-      }
-    } else if (arg == "--no-traces") {
-      with_traces = false;
-    } else if (arg == "--smoke") {
-      smoke = true;
-    } else if (arg == "--smoke-sched") {
-      smoke_sched = true;
-    } else if (arg == "--quiet") {
-      opts.verbose = false;
-    } else if (arg == "--list-runtimes") {
-      for (const auto& k : sim::all_runtime_keys()) std::printf("%s\n", k.c_str());
-      return 0;
-    } else if (arg == "--list-sources") {
-      for (const auto& k : power::harvest_source_kinds()) std::printf("%s\n", k.c_str());
-      return 0;
-    } else {
-      return usage();
-    }
-  }
+  CliParser p("scenario_runner",
+              "Sweeps runtimes x models x power scenarios and writes SCENARIOS.json\n"
+              "(ehdnn-scenarios-v1).");
+  p.str("--out", "FILE", "output path", &out_path);
+  p.value("--tasks", "mnist,har,okg", "comma-separated task list",
+          [&](const std::string& v) {
+            tasks.clear();
+            for (const auto& t : split_csv(v)) tasks.push_back(models::parse_task(t));
+          });
+  p.value("--runtimes", "KEY,KEY,...",
+          "runtime keys to sweep (see --list-runtimes; default all)",
+          [&](const std::string& v) { runtimes = split_csv(v); });
+  p.value("--scenario", "NAME=SPEC[;cap=F][;max_off=S][;reboots=N][;max_futile=N]",
+          "add a power scenario (repeatable; default built-in set)",
+          [&](const std::string& v) { scenarios.push_back(sim::parse_scenario_arg(v)); });
+  p.int_min("--jobs", "N", "worker threads (same bytes for any N)", &opts.jobs, 1);
+  p.toggle("--no-traces", "skip the committed traces/*.csv scenarios", &with_traces,
+           false);
+  p.toggle("--smoke", "tiny ace/flex MNIST sweep with assertions (ctest)", &smoke);
+  p.toggle("--smoke-sched", "adaptive-scheduler sweep with assertions (ctest)",
+           &smoke_sched);
+  p.toggle("--quiet", "suppress the per-cell progress lines", &opts.verbose, false);
+  add_listing_flags(p);
+  if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
 
   if (smoke_sched) {
     // Scheduling smoke (ctest sched_smoke, run from the repo root): both
