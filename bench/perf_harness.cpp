@@ -24,6 +24,7 @@
 // Exit code is non-zero if any equivalence check fails, 3 on baseline
 // drift.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -103,6 +104,10 @@ struct KernelResult {
   double wall_ns_bulk = 0.0;
   std::optional<double> modeled_cycles;
   std::optional<double> modeled_energy;
+  // Fleet entry only: population size / wall seconds. Advisory like every
+  // wall figure, but check_against warns when it drops below the
+  // committed baseline's floor.
+  std::optional<double> devices_per_s;
   bool bit_exact = true;
   bool cost_match = true;
 
@@ -168,22 +173,33 @@ KernelResult bench_circulant(std::size_t k, int reps) {
     (void)v;
     exponent = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat, scratch, out);
   }
-  const double t0 = now_ns();
-  for (int i = 0; i < reps; ++i) {
-    const auto v = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat);
-    (void)v;
-  }
-  const double scalar_ns = (now_ns() - t0) / static_cast<double>(reps);
-
-  const double t1 = now_ns();
-  for (int i = 0; i < reps; ++i) {
-    exponent = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat, scratch, out);
+  // The two paths share ~98% of their work (the FFTs), so the scratch
+  // path's margin is a few hundred ns of allocator traffic on a ~17 us
+  // run. Two serial timed loops can't resolve that: CPU frequency drift
+  // between the loops is the same order of magnitude and once read as a
+  // 0.98 "regression". Interleave the measurements in small alternating
+  // chunks so both paths sample the same frequency/thermal state.
+  double scalar_total_ns = 0.0, bulk_total_ns = 0.0;
+  const int chunk = 25;
+  for (int done = 0; done < reps; done += chunk) {
+    const int n = std::min(chunk, reps - done);
+    const double t0 = now_ns();
+    for (int i = 0; i < n; ++i) {
+      const auto v = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat);
+      (void)v;
+    }
+    const double t1 = now_ns();
+    scalar_total_ns += t1 - t0;
+    for (int i = 0; i < n; ++i) {
+      exponent = dsp::circulant_matvec_q15(c, x, dsp::FftScaling::kBlockFloat, scratch, out);
+    }
+    bulk_total_ns += now_ns() - t1;
   }
   KernelResult r;
   r.name = "circulant_matvec_q15_" + std::to_string(k);
   r.reps = reps;
-  r.wall_ns_scalar = scalar_ns;
-  r.wall_ns_bulk = (now_ns() - t1) / static_cast<double>(reps);
+  r.wall_ns_scalar = scalar_total_ns / static_cast<double>(reps);
+  r.wall_ns_bulk = bulk_total_ns / static_cast<double>(reps);
   r.bit_exact = out == ref.data && exponent == ref.exponent;
   return r;
 }
@@ -214,6 +230,7 @@ KernelResult bench_fleet(bool smoke) {
   r.wall_ns_bulk = wall;
   r.modeled_cycles = static_cast<double>(rep.total_steps);
   r.modeled_energy = rep.total_energy_j;
+  r.devices_per_s = g.count / (wall * 1e-9);
   r.bit_exact = rep.jobs_completed == rep.total_jobs;  // every job must finish
   std::printf("fleet throughput: %d devices in %.2f s (%.0f devices/s, %ld slices)\n",
               g.count, wall * 1e-9, g.count / (wall * 1e-9), rep.total_steps);
@@ -246,6 +263,7 @@ bool write_micro_json(const std::string& path, const std::vector<KernelResult>& 
     std::fprintf(f, "    {\"name\": \"%s\", \"reps\": %d, ", r.name.c_str(), r.reps);
     json_opt(f, "wall_ns_per_run_scalar", r.wall_ns_scalar, ", ");
     std::fprintf(f, "\"wall_ns_per_run_bulk\": %.12g, ", r.wall_ns_bulk);
+    if (r.devices_per_s) json_opt(f, "devices_per_s", r.devices_per_s, ", ");
     json_opt(f, "speedup", r.speedup(), ", ");
     json_opt(f, "modeled_cycles", r.modeled_cycles, ", ");
     json_opt(f, "modeled_energy_j", r.modeled_energy, ", ");
@@ -313,7 +331,7 @@ struct Baseline {
   std::string mode;
   // Per kernel name (micro) or model name (e2e).
   struct Entry {
-    std::optional<double> cycles, energy, wall_bulk;
+    std::optional<double> cycles, energy, wall_bulk, devices_per_s;
   };
   std::vector<std::pair<std::string, Entry>> entries;
 };
@@ -338,7 +356,7 @@ std::optional<Baseline> load_baseline(const std::string& path, bool per_line) {
       if (!name) continue;
       b.entries.push_back(
           {*name, {scan_num(line, "modeled_cycles"), scan_num(line, "modeled_energy_j"),
-                   scan_num(line, "wall_ns_per_run_bulk")}});
+                   scan_num(line, "wall_ns_per_run_bulk"), scan_num(line, "devices_per_s")}});
     }
   } else {
     // BENCH_e2e.json: a single object.
@@ -377,6 +395,15 @@ bool check_entry(const KernelResult& r, const Baseline& b) {
     if (e.wall_bulk && r.wall_ns_bulk > 0.0) {
       std::printf("perf gate: %-28s wall %.2fx baseline (advisory)\n", r.name.c_str(),
                   r.wall_ns_bulk / *e.wall_bulk);
+    }
+    // Fleet-throughput floor: the committed devices/s is the minimum the
+    // engine is expected to sustain; a drop below it is loud but — like
+    // every wall figure on shared CI machines — advisory, never a FAIL.
+    if (e.devices_per_s && r.devices_per_s && *r.devices_per_s < *e.devices_per_s) {
+      std::fprintf(stderr,
+                   "perf gate: %s throughput %.0f devices/s BELOW the committed floor "
+                   "%.0f (advisory — investigate before refreshing the baseline)\n",
+                   r.name.c_str(), *r.devices_per_s, *e.devices_per_s);
     }
     return ok;
   }

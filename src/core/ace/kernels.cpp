@@ -92,7 +92,7 @@ void run_conv2d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
       // LEA MAC then covers the whole kernel (Fig. 4).
       dv.cpu_ops(2.0 * static_cast<double>(gather));
       dv.read_gather(MemKind::kFram, ctx.img().w_base + f * q.in_ch * q.kh * q.kw,
-                     lp.w_gather, lp.w_span, gbuf);
+                     lp.w_gather, lp.w_span, gbuf, /*offsets_in_span=*/true);
       dv.write_block(MemKind::kSram, sp.kern_vec, gbuf);
       bias_f = q.bias.empty() ? q15_t{0} : dv.read(MemKind::kFram, ctx.img().b_base + f);
       cur_f = f;
@@ -102,7 +102,7 @@ void run_conv2d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
       // Window gather (SRAM -> SRAM), pruned positions skipped.
       dv.cpu_ops(2.0 * static_cast<double>(gather));
       dv.read_gather(MemKind::kSram, sp.input_stage + i * iw + j, lp.x_gather, lp.x_span,
-                     gbuf);
+                     gbuf, /*offsets_in_span=*/true);
       dv.write_block(MemKind::kSram, sp.win_vec, gbuf);
       const std::int64_t acc = dv.lea_mac(sp.win_vec, sp.kern_vec, gather);
       q15_t v = fx::narrow_q30(acc, rshift, ctx.stats);
@@ -147,7 +147,8 @@ void run_conv1d(ExecCtx& ctx, std::size_t start_unit, const UnitHooks& hooks) {
 
     for (std::size_t i = 0; i < ol; ++i) {
       dv.cpu_ops(2.0 * static_cast<double>(gather));
-      dv.read_gather(MemKind::kSram, sp.input_stage + i, lp.x_gather, lp.x_span, gbuf);
+      dv.read_gather(MemKind::kSram, sp.input_stage + i, lp.x_gather, lp.x_span, gbuf,
+                     /*offsets_in_span=*/true);
       dv.write_block(MemKind::kSram, sp.win_vec, gbuf);
       const std::int64_t acc = dv.lea_mac(sp.win_vec, sp.kern_vec, gather);
       q15_t v = fx::narrow_q30(acc, rshift, ctx.stats);
@@ -402,7 +403,8 @@ void run_bcm(ExecCtx& ctx, BcmState st, BcmObserver* obs) {
         const int shift = exp_x + exp_w + exp_p + lg;
         check(shift >= 0, "run_bcm: negative aligned exponent");
         const Span re = ScratchArena::need(ar->row, k);
-        dv.read_gather(MemKind::kSram, sp.fft_w, lp.real_gather, 2 * k, re);
+        dv.read_gather(MemKind::kSram, sp.fft_w, lp.real_gather, 2 * k, re,
+                       /*offsets_in_span=*/true);
         const Span accbuf = ScratchArena::need(ar->acc, 4 * k);
         dv.read_block(MemKind::kSram, sp.acc32, accbuf);
         dv.cpu_ops(3.0 * static_cast<double>(k));
@@ -622,9 +624,10 @@ bool run_tile(ExecCtx& ctx, TileCursor& cur, std::size_t tile_elems) {
       const Span wbuf = ScratchArena::need(ar->gather, n);
       const std::span<const std::uint32_t> xoff(lp.x_gather);
       const std::span<const std::uint32_t> woff(lp.w_gather);
-      dv.read_gather(MemKind::kFram, xbase, xoff.subspan(lo, n), lp.x_span, xbuf);
+      dv.read_gather(MemKind::kFram, xbase, xoff.subspan(lo, n), lp.x_span, xbuf,
+                     /*offsets_in_span=*/true);
       dv.read_gather(MemKind::kFram, wb + f * wstride, woff.subspan(lo, n), lp.w_span,
-                     wbuf);
+                     wbuf, /*offsets_in_span=*/true);
       std::int64_t acc = cur.acc;
       for (std::size_t e = 0; e < n; ++e) {
         dv.cpu_mac_cycles();

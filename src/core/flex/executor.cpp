@@ -1,5 +1,6 @@
 #include "core/flex/executor.h"
 
+#include <chrono>
 #include <limits>
 
 namespace ehdnn::flex {
@@ -36,10 +37,37 @@ void IntermittentExecutor::finish() {
 }
 
 bool IntermittentExecutor::step() {
+  PhaseProfile* const prof = opts_.profile;
+  if (prof == nullptr) return step_impl(nullptr);
+  int phase = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool more = step_impl(&phase);
+  const double dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  switch (phase) {
+    case 1:
+      prof->recharge_s += dt;
+      ++prof->recoveries;
+      break;
+    case 2:
+      prof->checkpoint_s += dt;
+      ++prof->slices;
+      break;
+    default:
+      // Checkpoint writes inside the slice have already moved their share
+      // from kernel_s to checkpoint_s (see FlexPolicy::write_checkpoint).
+      prof->kernel_s += dt;
+      ++prof->slices;
+      break;
+  }
+  return more;
+}
+
+bool IntermittentExecutor::step_impl(int* phase) {
   if (done_) return false;
   try {
     StepContext c = ctx();
     if (need_recover_) {
+      if (phase != nullptr) *phase = 1;
       // Recovery (recharge + the 400-cycle boot sequence) is a failable
       // slice of its own: at micro-capacitor envelopes the boot sequence
       // alone can outcost the charge burst and brown out again. Handling
@@ -58,13 +86,20 @@ bool IntermittentExecutor::step() {
     if (need_boot_) {
       // Cursor restores cost FRAM reads, so a boot is a failable slice of
       // its own — and a natural suspension point.
+      if (phase != nullptr) *phase = 2;
       attempt_start_cycles_ = dev_->trace().total_cycles();
       policy_->on_boot(c, fresh_);
+      dev_->settle_supply();  // slice boundary: close the prepaid window
       fresh_ = false;
       need_boot_ = false;
       return true;
     }
-    if (policy_->step(c)) {
+    const bool complete = policy_->step(c);
+    // Slice boundary: settle the prepaid-headroom window so the scheduler
+    // (and fill_stats below) sees the true supply state. Settlement
+    // cannot fail — over-budget draws already settled inside the slice.
+    dev_->settle_supply();
+    if (complete) {
       st_.outcome = Outcome::kCompleted;
       finish();
     }

@@ -17,6 +17,7 @@
 // successor's sequence word lands.
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/flex/executor.h"
 #include "util/check.h"
@@ -72,6 +73,7 @@ class FlexPolicy : public RuntimePolicy {
   void on_boot(StepContext& ctx, bool fresh) override {
     dev::Device& dev = ctx.dev;
     const ace::CompiledModel& cm = ctx.cm;
+    prof_ = ctx.opts.profile;
     if (fresh) {
       load_input(dev, cm, ctx.input);
       // Invalidate both slots: fresh inference, fresh progress.
@@ -243,6 +245,8 @@ class FlexPolicy : public RuntimePolicy {
                         std::size_t unit, int kind, const ace::BcmState* bcm,
                         const QLayer* q, RunStats& st) {
     const auto before = dev.trace().snapshot();
+    const auto host_t0 = prof_ != nullptr ? std::chrono::steady_clock::now()
+                                          : std::chrono::steady_clock::time_point{};
     notify_supply(dev, dev::SupplyEvent::kCheckpointBegin);
     const std::size_t next_seq = seq_ + 1;
     const Addr b = slot_addr(cm, next_seq & 1);
@@ -276,6 +280,15 @@ class FlexPolicy : public RuntimePolicy {
     const auto delta = dev.trace().delta(before);
     ++st.checkpoints;
     st.checkpoint_energy_j += delta.energy;
+    if (prof_ != nullptr) {
+      // Carve the write out of the enclosing kernel slice: the executor
+      // adds the whole slice's wall-clock to kernel_s afterwards.
+      const double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0).count();
+      prof_->checkpoint_s += dt;
+      prof_->kernel_s -= dt;
+      ++prof_->checkpoints;
+    }
   }
 
   class FlexBcmObserver : public ace::BcmObserver {
@@ -314,6 +327,7 @@ class FlexPolicy : public RuntimePolicy {
   };
 
   std::size_t seq_ = 0;
+  PhaseProfile* prof_ = nullptr;  // --profile sink, cached at boot
   bool warned_ = false;
   bool armed_ = false;
   bool degraded_ = false;

@@ -82,9 +82,39 @@ struct RunStats {
   double total_seconds() const { return on_seconds + off_seconds; }
 };
 
+// Host wall-clock phase attribution behind the runners' --profile flag.
+// All figures are seconds of HOST time, not modeled device time — the
+// instrument tells you where the simulator itself spends its wall-clock
+// so optimization work aims at the right phase. Attribution:
+//   recharge_s   — recover_from_failure slices (analytic recharge, boot
+//                  energy, starvation waits);
+//   checkpoint_s — boot-time cursor/state restores plus FLEX checkpoint
+//                  writes (carved out of the enclosing kernel slice);
+//   kernel_s     — the rest of policy slices: layer kernels, staging,
+//                  prepaid settlement;
+//   build_s      — device construction + image stamping (drivers);
+//   engine_s     — driver bookkeeping (event heap, sinks, reporting),
+//                  computed by the driver as total minus the above.
+// Null RunOptions::profile (the default) keeps every instrumentation
+// site down to one predicted branch.
+struct PhaseProfile {
+  double build_s = 0.0;
+  double recharge_s = 0.0;
+  double kernel_s = 0.0;
+  double checkpoint_s = 0.0;
+  double engine_s = 0.0;
+  long slices = 0;       // policy/boot slices timed into kernel_s
+  long recoveries = 0;   // recover_from_failure slices
+  long checkpoints = 0;  // FLEX checkpoint writes timed into checkpoint_s
+};
+
 struct RunOptions {
   dsp::FftScaling scaling = dsp::FftScaling::kBlockFloat;
   fx::SatStats* stats = nullptr;
+  // Wall-clock phase accounting (--profile); null = off. The pointee is
+  // shared across every run the driver profiles and is NOT thread-safe:
+  // drivers only wire it on their serial execution paths.
+  PhaseProfile* profile = nullptr;
   long max_reboots = 200000;  // livelock guard (BASE/ACE under harvesting)
   // Executor-level livelock watchdog: after this many *consecutive* boots
   // that bank neither a progress commit nor a checkpoint, the run is

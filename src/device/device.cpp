@@ -1,6 +1,7 @@
 #include "device/device.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <vector>
 
@@ -8,19 +9,60 @@
 
 namespace ehdnn::dev {
 
-Device::Device(DeviceConfig cfg)
+Device::Device(DeviceConfig cfg, DeviceSlabs* slabs)
     : cfg_(cfg),
-      sram_(MemKind::kSram, cfg.sram_words),
-      fram_(MemKind::kFram, cfg.fram_words),
+      c_sram_rd_(fixed_cost(cfg.cost.cycles_sram_word, cfg.cost.e_sram_read,
+                            cfg.cost.p_cpu_active)),
+      c_sram_wr_(fixed_cost(cfg.cost.cycles_sram_word, cfg.cost.e_sram_write,
+                            cfg.cost.p_cpu_active)),
+      c_fram_rd_(fixed_cost(cfg.cost.cycles_fram_word, cfg.cost.e_fram_read,
+                            cfg.cost.p_cpu_active)),
+      c_fram_wr_(fixed_cost(cfg.cost.cycles_fram_word, cfg.cost.e_fram_write,
+                            cfg.cost.p_cpu_active)),
+      c_cpu_mac_(fixed_cost(cfg.cost.cycles_cpu_mac, 0.0, cfg.cost.p_cpu_active)),
+      sram_(slabs != nullptr
+                ? MemoryRegion(MemKind::kSram, cfg.sram_words, std::move(slabs->sram))
+                : MemoryRegion(MemKind::kSram, cfg.sram_words)),
+      fram_(slabs != nullptr
+                ? MemoryRegion(MemKind::kFram, cfg.fram_words, std::move(slabs->fram))
+                : MemoryRegion(MemKind::kFram, cfg.fram_words)),
       scramble_rng_(cfg.scramble_seed) {}
 
-void Device::spend(Rail rail, double cycles, double extra_energy_joules,
-                   double active_power_watts) {
-  const double dt = cfg_.cost.seconds(cycles);
-  const double joules = active_power_watts * dt + extra_energy_joules;
-  trace_.add(rail, joules, cycles);
-  if (supply_ != nullptr && !supply_->consume(joules, dt)) {
+// The inline fast path in device.h already buffered the draw when the
+// open window could take it; this tail sees only window-refused draws:
+// settle, then either arm a fresh window or fall back to per-op consume.
+void Device::spend_slow(double joules, double dt) {
+  if (prepaid_open_) {
+    settle_supply();
+  }
+  if (prepay_supported_) {
+    const double budget = supply_->prepaid_budget();
+    if (joules <= budget) {
+      prepaid_open_ = true;
+      prepaid_budget_ = budget - joules;
+      prepaid_.push_back({joules, dt});
+      return;
+    }
+  }
+  // Near brown-out (or against a supply that opted out): per-op
+  // settlement, so the failure lands on exactly the op it would have.
+  if (!supply_->consume(joules, dt)) {
     throw PowerFailure{};
+  }
+}
+
+void Device::settle_supply() {
+  if (!prepaid_open_) return;
+  prepaid_open_ = false;
+  prepaid_budget_ = 0.0;
+  const std::size_t n = prepaid_.size();
+  const std::size_t done = supply_->consume_batch(prepaid_.data(), n);
+  prepaid_.clear();
+  if (done != n) {
+    // The budget guarantee (prepaid_budget's slack) makes this
+    // unreachable; a brown-out here would mean ops whose architectural
+    // effects already landed were never paid for.
+    fail("prepaid settlement browned out: budget invariant violated");
   }
 }
 
@@ -42,35 +84,37 @@ void Device::cpu_ops(double n_ops) {
   spend(Rail::kCpu, n_ops * cm.cycles_cpu_op, 0.0, cm.p_cpu_active);
 }
 
-void Device::cpu_mac_cycles() {
-  spend(Rail::kCpu, cfg_.cost.cycles_cpu_mac, 0.0, cfg_.cost.p_cpu_active);
-}
+void Device::cpu_mac_cycles() { spend_fixed(Rail::kCpu, c_cpu_mac_); }
 
 fx::q15_t Device::read(MemKind mem, Addr a) {
   if (mem == MemKind::kSram) {
-    spend(Rail::kSramRead, cfg_.cost.cycles_sram_word, cfg_.cost.e_sram_read,
-          cfg_.cost.p_cpu_active);
+    spend_fixed(Rail::kSramRead, c_sram_rd_);
     return sram_.peek(a);
   }
-  spend(Rail::kFramRead, cfg_.cost.cycles_fram_word, cfg_.cost.e_fram_read,
-        cfg_.cost.p_cpu_active);
+  spend_fixed(Rail::kFramRead, c_fram_rd_);
   return fram_.peek(a);
 }
 
 void Device::write(MemKind mem, Addr a, fx::q15_t v) {
   if (mem == MemKind::kSram) {
-    spend(Rail::kSramWrite, cfg_.cost.cycles_sram_word, cfg_.cost.e_sram_write,
-          cfg_.cost.p_cpu_active);
+    spend_fixed(Rail::kSramWrite, c_sram_wr_);
     sram_.poke(a, v);
     return;
   }
-  spend(Rail::kFramWrite, cfg_.cost.cycles_fram_word, cfg_.cost.e_fram_write,
-        cfg_.cost.p_cpu_active);
+  spend_fixed(Rail::kFramWrite, c_fram_wr_);
   fram_.poke(a, v);
 }
 
-bool Device::can_bulk_spend(double joules) const {
-  return supply_ == nullptr || joules <= supply_->headroom();
+bool Device::can_bulk_spend(double joules) {
+  if (supply_ == nullptr) return true;
+  // Within the open window's remaining budget the draw provably succeeds
+  // (true headroom only exceeds the budget: income adds, every buffered
+  // draw was already debited), so no settlement is needed to decide.
+  if (prepaid_open_) {
+    if (joules <= prepaid_budget_) return true;
+    settle_supply();  // decision needs the true, settled headroom
+  }
+  return joules <= supply_->headroom();
 }
 
 namespace {
@@ -129,7 +173,8 @@ void Device::write_block(MemKind mem, Addr a, std::span<const fx::q15_t> v) {
 }
 
 void Device::read_gather(MemKind mem, Addr base, std::span<const std::uint32_t> offsets,
-                         std::size_t span_words, std::span<fx::q15_t> out) {
+                         std::size_t span_words, std::span<fx::q15_t> out,
+                         bool offsets_in_span) {
   const std::size_t n = offsets.size();
   check(out.size() == n, "read_gather: offsets/out size mismatch");
   if (n == 0) return;
@@ -145,6 +190,16 @@ void Device::read_gather(MemKind mem, Addr base, std::span<const std::uint32_t> 
   const auto src = region(mem).view(base, span_words);
   spend(mem == MemKind::kSram ? Rail::kSramRead : Rail::kFramRead, cycles, extra,
         cm.p_cpu_active);
+  if (offsets_in_span) {
+    // The caller's gather table carries span = max offset + 1 as a
+    // construction invariant; the window view above already range-checked
+    // [base, base + span), so the per-element guard is pure overhead.
+    for (std::size_t i = 0; i < n; ++i) {
+      assert(offsets[i] < span_words);
+      out[i] = src[offsets[i]];
+    }
+    return;
+  }
   // Bare compare + [[noreturn]] fail keeps the guard out of the hot
   // path's way (check()'s source_location capture is measurably costly
   // per element at this call rate).
@@ -412,6 +467,7 @@ void Device::reboot() {
 double Device::sample_voltage() {
   // Comparator poll: trivial but not free.
   spend(Rail::kCpu, 6.0, 0.0, cfg_.cost.p_cpu_active);
+  settle_supply();  // the comparator must read the settled store
   return supply_ != nullptr ? supply_->voltage() : 3.3;
 }
 

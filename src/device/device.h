@@ -36,13 +36,35 @@ struct DeviceConfig {
   std::uint64_t scramble_seed = 0xdeadbeef;
 };
 
+// Recycled backing storage for a device's memory regions. A retired
+// device donates its word buffers via release_slabs(); constructing the
+// next device from them (fleet arena) skips the two dominant per-device
+// heap allocations. Semantically inert: a slab-built device is
+// indistinguishable from a freshly allocated one.
+struct DeviceSlabs {
+  std::vector<fx::q15_t> sram, fram;
+};
+
 class Device {
  public:
-  explicit Device(DeviceConfig cfg = {});
+  explicit Device(DeviceConfig cfg = {}, DeviceSlabs* slabs = nullptr);
+
+  // Donate the memory regions' backing storage into `out` for reuse by a
+  // future Device. The device must not be used afterwards.
+  void release_slabs(DeviceSlabs& out) {
+    out.sram = sram_.take_storage();
+    out.fram = fram_.take_storage();
+  }
 
   // Attach the supply (non-owning). Without one the device is on bench
   // power: nothing ever fails.
-  void attach_supply(PowerSupply* supply) { supply_ = supply; }
+  void attach_supply(PowerSupply* supply) {
+    supply_ = supply;
+    prepay_supported_ = supply != nullptr && supply->prepay_safe();
+    // One capacity-sized reservation up front keeps the per-spend
+    // push_back growth-free for the window's whole lifetime.
+    if (prepay_supported_) prepaid_.reserve(kPrepaidMaxEvents);
+  }
   PowerSupply* supply() { return supply_; }
   const PowerSupply* supply() const { return supply_; }
 
@@ -100,9 +122,14 @@ class Device {
   void write_block(MemKind mem, Addr a, std::span<const fx::q15_t> v);
   // Gathered read: out[i] = mem[base + offsets[i]]. `span_words` bounds
   // the window [base, base + span_words) that all offsets fall in — the
-  // single range check that replaces the per-word ones.
+  // single range check that replaces the per-word ones. A caller whose
+  // offsets are in-span BY CONSTRUCTION (the compile-time gather plans:
+  // LayerPlan records span = max offset + 1 while building the table)
+  // passes offsets_in_span=true to skip the per-element guard; the
+  // invariant is still assert()-checked in debug builds.
   void read_gather(MemKind mem, Addr base, std::span<const std::uint32_t> offsets,
-                   std::size_t span_words, std::span<fx::q15_t> out);
+                   std::size_t span_words, std::span<fx::q15_t> out,
+                   bool offsets_in_span = false);
   // LEA MAC over SRAM operand blocks (identical cost and semantics to
   // lea_mac, which delegates here): one bounds check per operand and a
   // tight pointer loop instead of per-word peeks.
@@ -143,22 +170,86 @@ class Device {
   void reboot();
 
   // Sample the supply voltage (the FLEX voltage-monitor read; costs a few
-  // CPU cycles for the comparator/ADC poll).
+  // CPU cycles for the comparator/ADC poll). Settles any open prepaid
+  // window first — the comparator reads the true, settled store.
   double sample_voltage();
 
+  // ---- prepaid-headroom settlement --------------------------------------
+  // Against a prepay_safe() supply, spend() arms a window from
+  // PowerSupply::prepaid_budget() and buffers draws against a local
+  // accumulator instead of routing each through virtual consume(). The
+  // buffered draws are replayed in order (consume_batch) at settlement
+  // points — slice boundaries (the executor calls settle_supply), voltage
+  // samples, and any state-dependent query — so supply-side arithmetic,
+  // income sampling, and failure instants are bit-identical to per-op
+  // settlement. Draws the budget cannot cover settle per-op, which is
+  // what keeps brown-out instants (and the fuzzer's schedules) exact.
+  void settle_supply();
+  bool prepaid_window_open() const { return prepaid_open_; }
+
  private:
-  void spend(Rail rail, double cycles, double extra_energy_joules, double active_power_watts);
+  // Settlement windows are bounded so the supply's budget slack
+  // (PowerSupply::prepaid_budget) covers the worst-case replay rounding.
+  static constexpr std::size_t kPrepaidMaxEvents = 4096;
+
+  // Every costed op funnels through here, ~10M times per fleet-bench
+  // device-second — so the common case (an open prepaid window with
+  // budget to spare) is inline: cost arithmetic, trace bookkeeping, and
+  // one buffered event. Everything else (settlement, arming a new
+  // window, per-op consume near brown-out) is the out-of-line tail.
+  void spend(Rail rail, double cycles, double extra_energy_joules,
+             double active_power_watts) {
+    const double dt = cfg_.cost.seconds(cycles);
+    const double joules = active_power_watts * dt + extra_energy_joules;
+    trace_.add(rail, joules, cycles);
+    if (supply_ == nullptr) return;
+    if (prepaid_open_ && joules <= prepaid_budget_ &&
+        prepaid_.size() < kPrepaidMaxEvents) {
+      prepaid_budget_ -= joules;
+      prepaid_.push_back({joules, dt});
+      return;
+    }
+    spend_slow(joules, dt);
+  }
+  void spend_slow(double joules, double dt);
+
+  // Construction-time image of what spend() computes for a fixed-cycle
+  // op — the scalar word accesses and the MPY32 MAC run millions of
+  // times with constant cost, so the division and energy arithmetic are
+  // done once, with identical rounding (the ctor evaluates the exact
+  // spend() expressions).
+  struct FixedOpCost {
+    double cycles = 0.0, dt = 0.0, joules = 0.0;
+  };
+  FixedOpCost fixed_cost(double cycles, double extra_energy_joules,
+                         double active_power_watts) const {
+    const double dt = cfg_.cost.seconds(cycles);
+    return {cycles, dt, active_power_watts * dt + extra_energy_joules};
+  }
+  void spend_fixed(Rail rail, const FixedOpCost& c) {
+    trace_.add(rail, c.joules, c.cycles);
+    if (supply_ == nullptr) return;
+    if (prepaid_open_ && c.joules <= prepaid_budget_ &&
+        prepaid_.size() < kPrepaidMaxEvents) {
+      prepaid_budget_ -= c.joules;
+      prepaid_.push_back({c.joules, c.dt});
+      return;
+    }
+    spend_slow(c.joules, c.dt);
+  }
 
   // True when an aggregated draw of `joules` provably cannot brown out,
   // so per-word accounting can be collapsed without changing which FRAM
-  // words commit before a failure.
-  bool can_bulk_spend(double joules) const;
+  // words commit before a failure. (Non-const: deciding may require
+  // settling the prepaid window to read true headroom.)
+  bool can_bulk_spend(double joules);
   // Total joules spend() would draw for `cycles` at `watts` plus extras.
   double spend_joules(double cycles, double extra_energy_joules, double watts) const {
     return watts * cfg_.cost.seconds(cycles) + extra_energy_joules;
   }
 
   DeviceConfig cfg_;
+  FixedOpCost c_sram_rd_, c_sram_wr_, c_fram_rd_, c_fram_wr_, c_cpu_mac_;
   MemoryRegion sram_;
   MemoryRegion fram_;
   EnergyTrace trace_;
@@ -166,6 +257,10 @@ class Device {
   Rng scramble_rng_;
   long reboots_ = 0;
   bool bulk_enabled_ = true;
+  bool prepay_supported_ = false;  // cached supply->prepay_safe()
+  bool prepaid_open_ = false;
+  double prepaid_budget_ = 0.0;    // remaining armed budget (joules)
+  std::vector<SpendEvent> prepaid_;
   std::vector<fx::cq15> fft_scratch_;  // reused by lea_fft/lea_ifft
 };
 

@@ -34,6 +34,25 @@ class MemoryRegion {
   MemoryRegion(MemKind kind, std::size_t words)
       : kind_(kind), words_(words, 0) {}
 
+  // Arena construction: adopt `storage` as the backing buffer (its
+  // capacity is reused; contents are reset to the `words` zeros a fresh
+  // region holds). The fleet engine's slab arena hands retired devices'
+  // buffers to newly admitted ones this way, so a bounded resident
+  // window allocates its big word arrays once instead of per device.
+  MemoryRegion(MemKind kind, std::size_t words, std::vector<fx::q15_t> storage)
+      : kind_(kind), words_(std::move(storage)) {
+    words_.assign(words, 0);
+  }
+
+  // Arena hand-off: steal the backing storage for recycling. The region
+  // is left empty and must not be used afterwards (its owner is being
+  // torn down).
+  std::vector<fx::q15_t> take_storage() {
+    brk_ = 0;
+    segments_.clear();
+    return std::move(words_);
+  }
+
   MemKind kind() const { return kind_; }
   bool is_volatile() const { return kind_ == MemKind::kSram; }
   std::size_t size_words() const { return words_.size(); }
@@ -67,6 +86,20 @@ class MemoryRegion {
   // garbage and fail the bit-exactness tests — by design.
   void scramble(Rng& rng) {
     for (auto& w : words_) w = static_cast<fx::q15_t>(rng.next_u64());
+  }
+
+  // Image cloning: replace this region's contents AND allocator state
+  // with a copy of `other`'s. Cost-free like peek/poke — this is a
+  // programming-time operation (the fleet engine stamps each device's
+  // FRAM from its group's compiled template instead of re-running
+  // ace::compile per device; the poke sequence compile would perform is
+  // cost-free too, so the clone is observationally identical).
+  void clone_from(const MemoryRegion& other) {
+    check(kind_ == other.kind_ && words_.size() == other.words_.size(),
+          "MemoryRegion: clone_from geometry mismatch");
+    words_ = other.words_;  // copy-assign reuses existing capacity
+    brk_ = other.brk_;
+    segments_ = other.segments_;
   }
 
   // --- bump allocator (named segments, word granular) -------------------

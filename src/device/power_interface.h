@@ -9,10 +9,18 @@
 // off period + reboot.
 #pragma once
 
+#include <cstddef>
 #include <exception>
 #include <limits>
 
 namespace ehdnn::dev {
+
+// One recorded costed operation, buffered by the device's prepaid-headroom
+// window and settled with the supply in order at the next settlement point.
+struct SpendEvent {
+  double joules = 0.0;
+  double dt = 0.0;
+};
 
 class PowerFailure : public std::exception {
  public:
@@ -40,6 +48,35 @@ class PowerSupply {
   // window). Returns false on brown-out; the energy is drained regardless
   // (the capacitor empties into the dying device).
   virtual bool consume(double joules, double dt) = 0;
+
+  // Settle a batch of recorded draws, equivalent to calling consume() once
+  // per event in order. Returns the index of the first event that browned
+  // out, or `n` when every draw succeeded. Overrides may cache
+  // source-segment state across the batch but must preserve per-event
+  // arithmetic and failure instants exactly — the prepaid window's
+  // contract is that buffering then settling is indistinguishable from
+  // immediate per-op settlement.
+  virtual std::size_t consume_batch(const SpendEvent* ev, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!consume(ev[i].joules, ev[i].dt)) return i;
+    }
+    return n;
+  }
+
+  // True when the device may run a prepaid-headroom window against this
+  // supply: draws within a budget established from headroom() provably
+  // cannot brown out, so they may be buffered and settled later.
+  // Schedule-driven supplies (the fuzzer's FailureScheduleSupply) count
+  // individual consume() calls to aim failures and must stay opted out.
+  virtual bool prepay_safe() const { return false; }
+
+  // The energy budget a prepaid window may be armed with right now: a
+  // headroom() shaved by the supply's own rounding slack, so that a batch
+  // of draws summing within the budget provably settles without a
+  // brown-out even after per-event floating-point rounding. Zero (the
+  // default, and always near the brown-out threshold) means per-op
+  // settlement — which is what keeps failure instants bit-exact.
+  virtual double prepaid_budget() const { return 0.0; }
 
   // Current storage voltage — what FLEX's voltage monitor samples.
   virtual double voltage() const = 0;

@@ -24,6 +24,16 @@
 // inference runs to completion — every fuzz iteration terminates, and the
 // final output can be compared bit-for-bit against the continuous-power
 // oracle (the contract in src/core/flex/runtime.h).
+//
+// Config::prepaid additionally opts the supply into the device's
+// prepaid-headroom window: a per-cycle joule budget (log-uniform, often
+// tiny) lets the device buffer draws and settle them in batches, with
+// draws too large for the remaining budget falling back to per-op
+// settlement — the headroom boundary. To stay honest about the prepaid
+// contract ("draws within the budget provably cannot brown out"), a due
+// failure never fires inside consume_batch: the countdown clamps at 1
+// across the batch and the brown-out lands on the NEXT per-op consume —
+// i.e. exactly on the first over-budget draw after a (torn) settlement.
 #pragma once
 
 #include <algorithm>
@@ -42,6 +52,9 @@ class FailureScheduleSupply : public dev::PowerSupply {
     double off_time_s = 1e-3; // fixed recharge gap per failure
     double v_ok = 3.3;        // reported far from a failure
     double v_low = 2.3;       // reported within the warn window
+    // Opt into the device's prepaid-headroom window (see file comment):
+    // failures then aim at the per-op draws around settlement boundaries.
+    bool prepaid = false;
   };
 
   explicit FailureScheduleSupply(std::uint64_t seed)
@@ -60,6 +73,22 @@ class FailureScheduleSupply : public dev::PowerSupply {
     }
     return true;
   }
+
+  // Prepaid draws were advertised as provably safe, so a due failure is
+  // deferred past the batch (countdown clamps at 1) and fires on the next
+  // per-op consume — the over-budget draw at the headroom boundary.
+  std::size_t consume_batch(const dev::SpendEvent* ev, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      energy_drawn_ += ev[i].joules;
+      now_ += ev[i].dt;
+      if (countdown_ > 1) --countdown_;
+    }
+    return n;
+  }
+
+  bool prepay_safe() const override { return cfg_.prepaid; }
+
+  double prepaid_budget() const override { return cfg_.prepaid ? budget_ : 0.0; }
 
   double voltage() const override {
     return countdown_ > 0 && countdown_ <= warn_window_ ? cfg_.v_low : cfg_.v_ok;
@@ -111,6 +140,11 @@ class FailureScheduleSupply : public dev::PowerSupply {
     events_left_ = 0;
     warn_window_ = rng_.chance(0.3) ? 0 : static_cast<long>(rng_.below(13));
     word_granular_ = rng_.chance(0.5);
+    // Prepaid window budget for this cycle: zero (per-op settlement, the
+    // classic path) or log-uniform across ~[10 pJ, 0.1 uJ] — from "every
+    // word op overflows the window" to "thousands of draws buffer before
+    // a settle", so brown-outs land on boundary draws of every size.
+    budget_ = rng_.chance(0.25) ? 0.0 : std::pow(10.0, rng_.uniform(-11.0, -7.0));
     if (failures_ >= cfg_.max_failures) {
       trigger_ = Trigger::kNone;  // budget spent: run to completion
       return;
@@ -136,6 +170,7 @@ class FailureScheduleSupply : public dev::PowerSupply {
   long events_left_ = 0;    // matching notify() events until arming
   long warn_window_ = 0;    // consumes before failure with v_low reported
   bool word_granular_ = false;
+  double budget_ = 0.0;     // per-cycle prepaid budget (joules)
   bool on_ = true;
   long failures_ = 0;
   double now_ = 0.0;

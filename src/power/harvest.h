@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <vector>
 
@@ -21,12 +22,30 @@ class HarvestSource {
   virtual ~HarvestSource() = default;
   // Instantaneous harvested power (watts) at absolute time t (seconds).
   virtual double power_at(double t) const = 0;
+
+  // Piecewise-constant contract: a time no earlier than the next instant
+  // strictly after `t` at which power_at may change. Semantics:
+  //   * +infinity      — power never changes again (constant source);
+  //   * a value  >  t  — power_at is constant on [t, value), up to a few
+  //                      ulp of rounding slop at the boundary (the
+  //                      integrator hardens candidates with a power_at
+  //                      predecessor walk before trusting a segment);
+  //   * `t` itself     — opt-out: the source is not piecewise-constant
+  //                      (or cannot bound its next change), integrators
+  //                      must use their stepped reference path.
+  // The default opts out, so continuously-varying sources (sine, linearly
+  // interpolated traces) are automatically excluded from the analytic
+  // recharge fast path in CapacitorSupply.
+  virtual double next_change_s(double t) const { return t; }
 };
 
 class ConstantSource : public HarvestSource {
  public:
   explicit ConstantSource(double watts) : watts_(watts) {}
   double power_at(double) const override { return watts_; }
+  double next_change_s(double) const override {
+    return std::numeric_limits<double>::infinity();
+  }
 
  private:
   double watts_;
@@ -41,6 +60,19 @@ class SquareSource : public HarvestSource {
   double power_at(double t) const override {
     const double phase = std::fmod(t, period_) / period_;
     return phase < duty_ ? hi_ : lo_;
+  }
+
+  double next_change_s(double t) const override {
+    if (t < 0.0) return t;  // power_at's fmod phase wraps differently there
+    // Advance by the residue of the SAME fmod power_at evaluates. Deriving
+    // the cycle from floor(t/period) instead can land one cycle ahead of
+    // the fmod phase when t/period rounds up across an integer, which
+    // would report a boundary a full period late — past a real change.
+    // The delta form keeps the candidate within ulps of where power_at
+    // actually flips; a delta rounding to <= 0 reads as the opt-out value.
+    const double m = std::fmod(t, period_);
+    const bool in_hi = m / period_ < duty_;
+    return t + (in_hi ? duty_ * period_ - m : period_ - m);
   }
 
  private:
@@ -97,6 +129,19 @@ class PoissonBurstSource : public HarvestSource {
     return base_;
   }
 
+  double next_change_s(double t) const override {
+    if (t < 0.0 || bursts_.empty()) return t;
+    double u = std::fmod(t, horizon_);
+    if (u < 0.0) u += horizon_;
+    const auto it = std::upper_bound(bursts_.begin(), bursts_.end(), u,
+                                     [](double v, const Burst& b) { return v < b.start; });
+    if (it != bursts_.begin() && u < (it - 1)->end) return t + ((it - 1)->end - u);
+    // In a gap: next burst start, wrapping into the next horizon cycle.
+    const double next_start =
+        it != bursts_.end() ? it->start : horizon_ + bursts_.front().start;
+    return t + (next_start - u);
+  }
+
   std::size_t burst_count() const { return bursts_.size(); }
 
  private:
@@ -128,6 +173,18 @@ class SolarDaySource : public HarvestSource {
     return floor_ + peak_ * s * s;
   }
 
+  // Constant only during the dark span (and trivially when peak == 0);
+  // under the daylight arch the power varies continuously, so opt out.
+  double next_change_s(double t) const override {
+    if (peak_ == 0.0) return std::numeric_limits<double>::infinity();
+    if (t < 0.0) return t;
+    double u = std::fmod(t, day_);
+    if (u < 0.0) u += day_;
+    const double lit = daylight_ * day_;
+    if (u < lit) return t;                // daylight: sin^2 ramp
+    return t + (day_ - u);                // dark until the next sunrise
+  }
+
  private:
   double peak_, day_, daylight_, floor_;
 };
@@ -142,6 +199,16 @@ class TimeOffsetSource : public HarvestSource {
   TimeOffsetSource(const HarvestSource& inner, double offset_s)
       : inner_(inner), offset_(offset_s) {}
   double power_at(double t) const override { return inner_.power_at(t + offset_); }
+  // The inner boundary mapped back through the offset. Both the forward
+  // map (t + offset) and the inverse below round, so the candidate can be
+  // a few ulp off the exact boundary — within the slop the piecewise
+  // contract allows.
+  double next_change_s(double t) const override {
+    const double inner_next = inner_.next_change_s(t + offset_);
+    if (std::isinf(inner_next)) return inner_next;
+    if (!(inner_next > t + offset_)) return t;  // inner opted out
+    return inner_next - offset_;
+  }
   double offset() const { return offset_; }
 
  private:
@@ -160,6 +227,13 @@ class TraceSource : public HarvestSource {
     const auto idx =
         static_cast<std::size_t>(std::fmod(t / dt_, static_cast<double>(samples_.size())));
     return samples_[idx];
+  }
+
+  // Zero-order hold: the replayed power can only change where the sample
+  // index increments, i.e. at multiples of dt (including the loop wrap).
+  double next_change_s(double t) const override {
+    if (t < 0.0) return t;
+    return (std::floor(t / dt_) + 1.0) * dt_;
   }
 
  private:

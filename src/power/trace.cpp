@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/check.h"
@@ -130,6 +131,35 @@ double TraceHarvestSource::power_at(double t) const {
   const TracePoint& b = pts[hi];
   const double frac = (u - a.t) / (b.t - a.t);
   return scale_ * (a.watts + frac * (b.watts - a.watts));
+}
+
+double TraceHarvestSource::next_change_s(double t) const {
+  if (interp_ != TraceInterp::kZeroOrderHold) return t;  // continuous: opt out
+  if (t < 0.0) return t;
+  const auto& pts = trace_.points;
+  const double t0 = pts.front().t;
+  const double span = trace_.span_s();
+  if (pts.size() == 1 || span == 0.0) return std::numeric_limits<double>::infinity();
+  // Same local-clock mapping as power_at; within one replay cycle the
+  // local clock advances 1:1 with t, so a boundary at local time u_b lies
+  // at absolute time t + (u_b - u).
+  double u = t;
+  if (loop_ && span > 0.0) {
+    u = std::fmod(t, span);
+    if (u < 0.0) u += span;
+  }
+  u += t0;
+  if (u >= pts.back().t) {
+    // Only reachable without looping: the last sample holds forever.
+    return std::numeric_limits<double>::infinity();
+  }
+  if (u <= t0) return t + (pts[1].t - u);
+  const auto it = std::upper_bound(pts.begin(), pts.end(), u,
+                                   [](double v, const TracePoint& p) { return v < p.t; });
+  // pts[hi-1].t <= u < pts[hi].t; the hold ends at pts[hi].t (for the last
+  // interval that is the loop seam, where the replay steps back to the
+  // front sample).
+  return t + (it->t - u);
 }
 
 }  // namespace ehdnn::power

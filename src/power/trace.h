@@ -56,6 +56,10 @@ class TraceHarvestSource : public HarvestSource {
                               bool loop = true, double scale = 1.0);
 
   double power_at(double t) const override;
+  // Piecewise-constant only under zero-order hold: boundaries fall on the
+  // trace's sample times (and the loop seam). Linear interpolation varies
+  // continuously, so it opts out (returns t).
+  double next_change_s(double t) const override;
 
   double span_s() const { return trace_.span_s(); }
   bool loops() const { return loop_; }

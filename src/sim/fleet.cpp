@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -40,22 +41,26 @@ constexpr double kSketchRelErr = 0.01;
 
 // Everything one simulated device owns. Pointer-stable (held by
 // unique_ptr) because supplies, executors and the job queue point into it.
+// The compiled models are SHARED with the device's group template (see
+// GroupTemplate below): compilation is a pure function of (model,
+// geometry), so every device in a homogeneous group points at one
+// immutable CompiledModel instead of carrying a private copy of the
+// weights and gather tables.
 struct FleetDevice {
   power::TimeOffsetSource source;
   power::CapacitorSupply supply;
   dev::Device device;
-  ace::CompiledModel cm_primary;
-  std::optional<ace::CompiledModel> cm_dense;  // adaptive: co-resident twin
+  std::shared_ptr<const ace::CompiledModel> cm_primary;
+  std::shared_ptr<const ace::CompiledModel> cm_dense;  // adaptive: co-resident twin
   std::vector<std::vector<fx::q15_t>> inputs;  // one per job
   std::unique_ptr<flex::RuntimePolicy> policy;
   flex::RunOptions opts;
   std::optional<sched::JobQueue> queue;  // constructed last (borrows the rest)
 
   FleetDevice(const power::HarvestSource& base, double offset,
-              const power::CapacitorConfig& ccfg, const dev::DeviceConfig& dcfg)
-      : source(base, offset), supply(source, ccfg), device(dcfg) {
-    // Supply must be attached before compile so deploy-time accounting
-    // matches the scenario engine's run_cell exactly.
+              const power::CapacitorConfig& ccfg, const dev::DeviceConfig& dcfg,
+              dev::DeviceSlabs* slabs)
+      : source(base, offset), supply(source, ccfg), device(dcfg, slabs) {
     device.attach_supply(&supply);
   }
 };
@@ -118,15 +123,33 @@ void group_variants(const FleetGroup& g, bool* need_compressed, bool* need_dense
   *need_dense = adaptive || !compressed;
 }
 
+// One group's compile-once execution image. ace::compile is a pure
+// function of (model, device geometry): it pokes the weight image into
+// FRAM and bump-allocates scratch plans, drawing no energy and touching
+// no per-device randomness. So a homogeneous group compiles ONCE onto a
+// template device at build time; every admitted device then (a) stamps
+// its FRAM/SRAM from the template's post-compile image (MemoryRegion::
+// clone_from — cost-free, exactly what the poke sequence would have
+// produced) and (b) shares the immutable CompiledModel by pointer. This
+// removes the per-device O(model) compile + weight copy from the hot
+// admission path and collapses the group's model storage to one copy.
+struct GroupTemplate {
+  std::shared_ptr<const ace::CompiledModel> cm_primary;
+  std::shared_ptr<const ace::CompiledModel> cm_dense;  // adaptive only
+  std::unique_ptr<dev::Device> image;  // post-compile FRAM/SRAM snapshot
+};
+
 // Population-wide immutable state shared by every device build: the base
 // harvest source, one model instance per (task, variant), each group's
-// FRAM sizing, and the device-id -> group mapping. Building a device
-// needs nothing else, which is what lets the event engine construct
-// devices lazily (and worker processes construct only their shard).
+// FRAM sizing and compiled template, and the device-id -> group mapping.
+// Building a device needs nothing else, which is what lets the event
+// engine construct devices lazily (and worker processes construct only
+// their shard).
 struct FleetWorld {
   std::unique_ptr<power::HarvestSource> base_source;
   std::map<std::pair<int, bool>, quant::QuantModel> qms;
   std::vector<std::size_t> group_fram;
+  std::vector<GroupTemplate> group_tpl;
   std::vector<std::size_t> device_group;  // device id -> group index
   int n = 0;
 };
@@ -156,25 +179,45 @@ FleetWorld build_world(const FleetConfig& cfg) {
   // fleet's memory proportional to what each device actually ships
   // instead of provisioning every device for the largest dense twin.
   w.group_fram.resize(cfg.groups.size());
+  w.group_tpl.resize(cfg.groups.size());
   for (std::size_t gi = 0; gi < cfg.groups.size(); ++gi) {
     const FleetGroup& g = cfg.groups[gi];
+    const bool adaptive = runtime_is_adaptive(g.agenda.runtime);
+    const bool primary_compressed = runtime_uses_compressed_model(g.agenda.runtime);
     if (g.fram_words != 0) {
       w.group_fram[gi] = g.fram_words;
-      continue;
+    } else {
+      bool need_c = false, need_d = false;
+      group_variants(g, &need_c, &need_d);
+      dev::DeviceConfig scratch_cfg = models::deployment_device_config(/*compressed=*/false);
+      dev::Device scratch(scratch_cfg);
+      std::size_t used = 0;
+      bool first = true;
+      for (const bool compressed : {true, false}) {
+        if (!(compressed ? need_c : need_d)) continue;
+        const auto& qm = w.qms.at({static_cast<int>(g.task), compressed});
+        used = ace::compile(qm, scratch, /*co_resident=*/!first).fram_words_used;
+        first = false;
+      }
+      w.group_fram[gi] = used + 1024;
     }
-    bool need_c = false, need_d = false;
-    group_variants(g, &need_c, &need_d);
-    dev::DeviceConfig scratch_cfg = models::deployment_device_config(/*compressed=*/false);
-    dev::Device scratch(scratch_cfg);
-    std::size_t used = 0;
-    bool first = true;
-    for (const bool compressed : {true, false}) {
-      if (!(compressed ? need_c : need_d)) continue;
-      const auto& qm = w.qms.at({static_cast<int>(g.task), compressed});
-      used = ace::compile(qm, scratch, /*co_resident=*/!first).fram_words_used;
-      first = false;
+
+    // Bake the group's template: compile the image(s) this group's
+    // runtime ships onto a device with the group's exact geometry, in
+    // the exact order make_device used to (primary, then the dense twin
+    // co-resident for adaptive groups), and keep the post-compile device
+    // as the memory snapshot every admitted device is stamped from.
+    GroupTemplate& tpl = w.group_tpl[gi];
+    dev::DeviceConfig tcfg;
+    tcfg.fram_words = w.group_fram[gi];
+    tpl.image = std::make_unique<dev::Device>(tcfg);
+    tpl.cm_primary = std::make_shared<const ace::CompiledModel>(
+        ace::compile(w.qms.at({static_cast<int>(g.task), primary_compressed}), *tpl.image));
+    if (adaptive) {
+      tpl.cm_dense = std::make_shared<const ace::CompiledModel>(
+          ace::compile(w.qms.at({static_cast<int>(g.task), false}), *tpl.image,
+                       /*co_resident=*/true));
     }
-    w.group_fram[gi] = used + 1024;
   }
 
   w.device_group.reserve(static_cast<std::size_t>(w.n));
@@ -188,12 +231,12 @@ FleetWorld build_world(const FleetConfig& cfg) {
 // never on which devices exist around it — the property every execution
 // path (event queue, worker pool, shard) relies on for determinism.
 std::unique_ptr<FleetDevice> make_device(const FleetWorld& w, const FleetConfig& cfg, int d,
-                                         bool force_admit_all) {
+                                         bool force_admit_all,
+                                         dev::DeviceSlabs* slabs = nullptr,
+                                         flex::PhaseProfile* profile = nullptr) {
   const std::size_t gi = w.device_group[static_cast<std::size_t>(d)];
   const FleetGroup& g = cfg.groups[gi];
   const bool adaptive = runtime_is_adaptive(g.agenda.runtime);
-  const bool primary_compressed = runtime_uses_compressed_model(g.agenda.runtime);
-  const auto& qm_primary = w.qms.at({static_cast<int>(g.task), primary_compressed});
 
   power::CapacitorConfig ccfg;
   ccfg.capacitance_f = g.capacitance_f;
@@ -206,14 +249,16 @@ std::unique_ptr<FleetDevice> make_device(const FleetWorld& w, const FleetConfig&
   dcfg.scramble_seed =
       cfg.seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(d) + 1);
 
-  auto fd = std::make_unique<FleetDevice>(*w.base_source, offset, ccfg, dcfg);
-  fd->cm_primary = ace::compile(qm_primary, fd->device);
-  if (adaptive) {
-    fd->cm_dense = ace::compile(w.qms.at({static_cast<int>(g.task), false}), fd->device,
-                                /*co_resident=*/true);
-  }
+  auto fd = std::make_unique<FleetDevice>(*w.base_source, offset, ccfg, dcfg, slabs);
+  // Stamp the group's compiled image instead of re-running ace::compile:
+  // identical FRAM bytes and allocator state, one shared CompiledModel.
+  const GroupTemplate& tpl = w.group_tpl[gi];
+  fd->device.fram().clone_from(tpl.image->fram());
+  fd->device.sram().clone_from(tpl.image->sram());
+  fd->cm_primary = tpl.cm_primary;
+  if (adaptive) fd->cm_dense = tpl.cm_dense;
 
-  const std::size_t in_size = fd->cm_primary.model.layers.front().in_size();
+  const std::size_t in_size = fd->cm_primary->model.layers.front().in_size();
   fd->inputs.resize(static_cast<std::size_t>(g.agenda.jobs));
   for (int j = 0; j < g.agenda.jobs; ++j) {
     Rng in_rng(cfg.seed ^ (0xf1ee7ull + static_cast<std::uint64_t>(d) * 0x10001ull +
@@ -242,12 +287,13 @@ std::unique_ptr<FleetDevice> make_device(const FleetWorld& w, const FleetConfig&
     }
   }
   const double worst_ck = sched::provision_deployment(
-      *fd->policy, fd->device.cost(), fd->cm_primary,
-      fd->cm_dense.has_value() ? &*fd->cm_dense : nullptr, fd->supply.burst_energy());
+      *fd->policy, fd->device.cost(), *fd->cm_primary, fd->cm_dense.get(),
+      fd->supply.burst_energy());
   fd->opts.max_reboots = g.max_reboots;
   fd->opts.max_futile_boots = g.max_futile;
   fd->opts.flex_v_warn = power::warn_voltage_for(fd->supply.config(), worst_ck + 5e-6, 3.0);
-  fd->queue.emplace(fd->device, *fd->policy, fd->cm_primary, fd->opts, g.agenda, &fd->inputs);
+  fd->opts.profile = profile;  // JobQueue copies opts, so wire before emplace
+  fd->queue.emplace(fd->device, *fd->policy, *fd->cm_primary, fd->opts, g.agenda, &fd->inputs);
   return fd;
 }
 
@@ -452,11 +498,26 @@ void run_range(const FleetWorld& w, const FleetConfig& cfg, int begin, int end,
   };
 
   const int run_jobs = std::max(opts.jobs, 1);
+  // Wall-clock phase attribution (--profile): only the serial paths are
+  // wired (one shared, unsynchronized sink). Device construction is timed
+  // into build_s here; the executor attributes its own slices.
+  flex::PhaseProfile* const prof = run_jobs == 1 || opts.legacy_round_robin ||
+                                           end - begin <= 1
+                                       ? opts.profile
+                                       : nullptr;
+  auto timed_build = [&](int d, dev::DeviceSlabs* slabs) {
+    if (prof == nullptr) return make_device(w, cfg, d, opts.force_admit_all, slabs, nullptr);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto fd = make_device(w, cfg, d, opts.force_admit_all, slabs, prof);
+    prof->build_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return fd;
+  };
   if (opts.legacy_round_robin) {
     std::vector<std::unique_ptr<FleetDevice>> fleet;
     fleet.reserve(static_cast<std::size_t>(end - begin));
     for (int d = begin; d < end; ++d) {
-      fleet.push_back(make_device(w, cfg, d, opts.force_admit_all));
+      fleet.push_back(timed_build(d, nullptr));
     }
     bool any_live = true;
     while (any_live) {
@@ -484,10 +545,20 @@ void run_range(const FleetWorld& w, const FleetConfig& cfg, int begin, int end,
     const int window = std::max(1, opts.max_resident);
     int next_build = begin;
     int resident = 0;
+    // Slab arena: retired devices donate their SRAM/FRAM word buffers,
+    // newly admitted ones are built from them, so the steady state
+    // allocates the two big per-device arrays once per window slot
+    // instead of once per device. (Groups can differ in FRAM size; the
+    // adopting region resizes, which still reuses capacity when the next
+    // group's image is no larger.)
+    std::vector<dev::DeviceSlabs> arena;
+    arena.reserve(static_cast<std::size_t>(window));
     auto admit = [&] {
       while (resident < window && next_build < end) {
         auto& slot = live[static_cast<std::size_t>(next_build - begin)];
-        slot = make_device(w, cfg, next_build, opts.force_admit_all);
+        dev::DeviceSlabs* slabs = arena.empty() ? nullptr : &arena.back();
+        slot = timed_build(next_build, slabs);
+        if (slabs != nullptr) arena.pop_back();
         heap.emplace(slot->queue->next_time_s(), next_build);
         ++resident;
         ++next_build;
@@ -501,6 +572,10 @@ void run_range(const FleetWorld& w, const FleetConfig& cfg, int begin, int end,
       slot->queue->step();
       if (slot->queue->finished()) {
         deliver(distill(w, cfg, d, *slot));
+        if (next_build < end) {
+          arena.emplace_back();
+          slot->device.release_slabs(arena.back());
+        }
         slot.reset();  // free the window slot before admitting the next id
         --resident;
         admit();
@@ -789,7 +864,14 @@ FleetEngine& FleetEngine::add_sink(FleetSink& sink) {
 }
 
 FleetReport FleetEngine::run(const FleetRunOptions& ropts) {
+  const auto wall0 = std::chrono::steady_clock::now();
   const FleetWorld w = build_world(cfg_);
+  if (ropts.profile != nullptr) {
+    // World build (model gen + per-group template compiles) is build
+    // time, like device stamping.
+    ropts.profile->build_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+  }
 
   AggregateSink agg;
   DetailSink detail;
@@ -801,6 +883,15 @@ FleetReport FleetEngine::run(const FleetRunOptions& ropts) {
   for (FleetSink* s : sinks) s->finalize();
 
   FleetReport r = finalize_report(cfg_, agg, cfg_.per_device_detail ? &detail : nullptr);
+  if (ropts.profile != nullptr) {
+    // Whatever the attributed phases did not claim is engine overhead:
+    // the event heap, sinks, reporting, and instrumentation slack.
+    flex::PhaseProfile& p = *ropts.profile;
+    const double total =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+    p.engine_s = std::max(
+        0.0, total - p.build_s - p.recharge_s - p.kernel_s - p.checkpoint_s);
+  }
 
   // Fixed-runtime baselines: the same population with every agenda forced
   // to one key — the "adaptive vs best fixed runtime" evidence.

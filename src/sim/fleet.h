@@ -127,6 +127,11 @@ struct FleetRunOptions {
   // Internal (used by the compare_admission rerun): force every adaptive
   // group's admission mode to admit=all regardless of its sched spec.
   bool force_admit_all = false;
+  // Host wall-clock phase attribution (--profile): recharge vs kernel vs
+  // checkpoint vs engine time. Honored only on the serial event-engine
+  // and legacy paths (the worker pool shares one sink unsynchronized);
+  // null = no instrumentation.
+  flex::PhaseProfile* profile = nullptr;
 };
 
 // One device's agenda outcome, plus its fleet coordinates. `jobs` is

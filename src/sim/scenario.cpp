@@ -120,7 +120,8 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
                       const std::map<bool, quant::QuantModel>& qms,
                       const std::map<bool, std::vector<fx::q15_t>>& inputs,
                       const ScenarioSpec& sc, const power::HarvestSource* src,
-                      std::uint64_t scramble_seed) {
+                      std::uint64_t scramble_seed,
+                      flex::PhaseProfile* profile) {
   const RuntimeEntry& rk = runtime_entry(rt_key);
   // Adaptive devices carry the dense twin too, so they get the enlarged
   // baseline FRAM geometry.
@@ -153,6 +154,7 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
       *policy, dev.cost(), cm, cm_dense.has_value() ? &*cm_dense : nullptr,
       continuous ? std::numeric_limits<double>::infinity() : cap->burst_energy());
   flex::RunOptions opts;
+  opts.profile = profile;
   opts.max_reboots = sc.max_reboots;
   opts.max_futile_boots = sc.max_futile;
   if (!continuous) {
@@ -316,7 +318,8 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
       const std::uint64_t cell_seed =
           opts.seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(i) + 1);
       ScenarioCell cell = run_cell(rt, tasks[ti], qms[ti], inputs[ti], sc,
-                                   sources[si].get(), cell_seed);
+                                   sources[si].get(), cell_seed,
+                                   opts.jobs <= 1 ? opts.profile : nullptr);
       if (opts.verbose) {
         const std::lock_guard<std::mutex> lock(log_mu);
         std::fprintf(stderr, "scenario %s/%s/%s: %s (on %.3fs, off %.3fs, %ld reboots)\n",

@@ -74,6 +74,9 @@ struct SweepOptions {
   // bytes of SCENARIOS.json — is identical for any job count; only
   // wall-clock changes. Values < 1 are clamped to 1.
   int jobs = 1;
+  // Wall-clock phase attribution (--profile); honored only on the serial
+  // sweep (jobs == 1 — one unsynchronized sink), null = off.
+  flex::PhaseProfile* profile = nullptr;
 };
 
 // Runtime keys, in sweep order: base, sonic/tails and tile execute the

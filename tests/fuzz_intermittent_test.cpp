@@ -81,6 +81,11 @@ struct FuzzCase {
   // nearly every schedule start on ACE and demote to FLEX at a failure
   // boot — so brown-outs land exactly on runtime-switch boots.
   const char* sched_spec = nullptr;
+  // Opt the supply into the device's prepaid-headroom window: draws
+  // buffer against a per-cycle budget and brown-outs land on the per-op
+  // draws at settlement boundaries (torn settlement at the headroom
+  // boundary) instead of mid-window.
+  bool prepaid = false;
 };
 
 // >= 1500 schedules total, spread so every runtime sees every commit
@@ -112,6 +117,14 @@ constexpr FuzzCase kCases[] = {
     {"adaptive", true, 70, 0x5c000, 2.45, "adaptive:sel=deadline,fc=const,w=9,demote=1"},
     {"adaptive", false, 50, 0x5b000, 2.45,
      "adaptive:sel=deadline,fc=periodic,demote=1"},
+    // Prepaid-headroom window schedules: per-cycle budgets make the
+    // device buffer draws and settle them in batches; failures fire on
+    // the over-budget draw right after a settlement — the torn-settlement
+    // boundary the prepaid contract must keep bit-exact.
+    {"flex", true, 100, 0x60000, 2.45, nullptr, true},
+    {"sonic", false, 80, 0x61000, 2.45, nullptr, true},
+    {"tails", true, 60, 0x62000, 2.45, nullptr, true},
+    {"tile", false, 60, 0x63000, 2.45, nullptr, true},
 };
 
 // Builds the case's runtime/policy honoring an adaptive spec override.
@@ -163,8 +176,10 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
   long total_failures = 0;
   for (int i = 0; i < fc.schedules; ++i) {
     const std::uint64_t seed = fc.seed0 + static_cast<std::uint64_t>(i);
+    power::FailureScheduleSupply::Config scfg;
+    scfg.prepaid = fc.prepaid;
     dev::Device dev;
-    power::FailureScheduleSupply supply(seed);
+    power::FailureScheduleSupply supply(seed, scfg);
     dev.attach_supply(&supply);
     const auto cm = ace::compile(qm, dev);
     const RunStats st = rt->infer(dev, cm, input, opts);
@@ -178,7 +193,7 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
     total_failures += supply.failures();
 
     dev::Device dev2;
-    power::FailureScheduleSupply supply2(seed);
+    power::FailureScheduleSupply supply2(seed, scfg);
     dev2.attach_supply(&supply2);
     const auto cm2 = ace::compile(qm, dev2);
     IntermittentExecutor ex(*policy);
@@ -201,7 +216,10 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
   // commit events to aim at — that sparseness is FLEX's selling point.
   // Adaptive runs average fewer still: their ACE boots announce no commit
   // boundaries at all, so event triggers idle until the demotion lands.)
-  EXPECT_GT(total_failures, (fc.sched_spec != nullptr ? 2L : 3L) * fc.schedules)
+  // (Prepaid cases average fewer still: a cycle whose budget swallows
+  // every draw defers its armed failure until an over-budget op shows up.)
+  const long bite = fc.sched_spec != nullptr ? 2L : (fc.prepaid ? 1L : 3L);
+  EXPECT_GT(total_failures, bite * fc.schedules)
       << fc.runtime << ": schedules injected too few failures";
 
   // Adaptive cases exist to aim brown-outs at runtime-switch boots: the
@@ -225,6 +243,7 @@ INSTANTIATE_TEST_SUITE_P(Schedules, CrashConsistency, ::testing::ValuesIn(kCases
                              if (ch == ':' || ch == '=') ch = '_';
                            }
                            name += c.bcm_model ? "_bcm" : "_dense";
+                           if (c.prepaid) name += "_pp";
                            name += "_" + std::to_string(c.schedules);
                            name += "_w" + std::to_string(static_cast<int>(
                                               c.flex_v_warn * 1000.0));

@@ -116,6 +116,9 @@ int main(int argc, char** argv) {
             flag_cfg.seed = std::strtoull(v.c_str(), nullptr, 0);
           }));
   p.toggle("--quiet", "suppress the per-device progress lines", &ropts.verbose, false);
+  bool profile = false;
+  p.toggle("--profile", "print a host wall-clock phase breakdown (serial runs)",
+           &profile);
   add_listing_flags(p);
   p.positionals("PARTIAL", "shard partial files to --merge",
                 [&](const std::string& v) { merge_inputs.push_back(v); });
@@ -172,6 +175,13 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    flex::PhaseProfile prof;
+    if (profile) {
+      check(ropts.jobs == 1,
+            "--profile needs --jobs 1 (one shared, unsynchronized sink)");
+      ropts.profile = &prof;
+    }
+
     if (compare_fixed) {
       // Every fixed key from the runtime table (the adaptive key is the
       // subject, not a baseline).
@@ -191,6 +201,16 @@ int main(int argc, char** argv) {
                  cfg.total_devices(), r.total_jobs, r.jobs_completed,
                  100.0 * r.completion_rate, r.jobs_in_deadline, 100.0 * r.deadline_rate,
                  r.latency_p50_s, r.latency_p90_s, r.latency_p99_s, out_path.c_str());
+    if (profile) {
+      const double total =
+          prof.build_s + prof.recharge_s + prof.kernel_s + prof.checkpoint_s + prof.engine_s;
+      std::fprintf(stderr,
+                   "fleet_runner: profile (host seconds, main run): total %.3f | "
+                   "build %.3f | recharge %.3f (%ld recoveries) | kernel %.3f "
+                   "(%ld slices) | checkpoint %.3f (%ld writes) | engine %.3f\n",
+                   total, prof.build_s, prof.recharge_s, prof.recoveries, prof.kernel_s,
+                   prof.slices, prof.checkpoint_s, prof.checkpoints, prof.engine_s);
+    }
     if (r.jobs_skipped > 0) {
       std::fprintf(stderr,
                    "fleet_runner: admission skipped %d infeasible releases "

@@ -123,6 +123,9 @@ int main(int argc, char** argv) {
   p.toggle("--smoke-sched", "adaptive-scheduler sweep with assertions (ctest)",
            &smoke_sched);
   p.toggle("--quiet", "suppress the per-cell progress lines", &opts.verbose, false);
+  bool profile = false;
+  p.toggle("--profile", "print a host wall-clock phase breakdown (serial sweeps)",
+           &profile);
   add_listing_flags(p);
   if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
 
@@ -147,6 +150,17 @@ int main(int argc, char** argv) {
     scenarios = default_scenarios(with_traces);
   }
 
+  flex::PhaseProfile prof;
+  if (profile) {
+    if (opts.jobs != 1) {
+      std::fprintf(stderr,
+                   "scenario_runner: --profile needs --jobs 1 (one shared, "
+                   "unsynchronized sink)\n");
+      return 2;
+    }
+    opts.profile = &prof;
+  }
+
   try {
     const sim::ScenarioMatrix m = sim::run_matrix(runtimes, tasks, scenarios, opts);
 
@@ -158,6 +172,14 @@ int main(int argc, char** argv) {
     sim::write_scenarios_json(f, m);
     std::fprintf(stderr, "scenario_runner: wrote %zu cells to %s\n", m.cells.size(),
                  out_path.c_str());
+    if (profile) {
+      std::fprintf(stderr,
+                   "scenario_runner: profile (host seconds): recharge %.3f "
+                   "(%ld recoveries) | kernel %.3f (%ld slices) | checkpoint %.3f "
+                   "(%ld writes)\n",
+                   prof.recharge_s, prof.recoveries, prof.kernel_s, prof.slices,
+                   prof.checkpoint_s, prof.checkpoints);
+    }
 
     if (smoke) {
       // ctest gate: under the square duty cycle FLEX must complete while
