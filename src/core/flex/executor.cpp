@@ -46,17 +46,17 @@ bool IntermittentExecutor::step() {
   switch (phase) {
     case 1:
       prof->recharge_s += dt;
-      ++prof->recoveries;
+      ++*prof->recoveries;
       break;
     case 2:
       prof->checkpoint_s += dt;
-      ++prof->slices;
+      ++*prof->slices;
       break;
     default:
       // Checkpoint writes inside the slice have already moved their share
       // from kernel_s to checkpoint_s (see FlexPolicy::write_checkpoint).
       prof->kernel_s += dt;
-      ++prof->slices;
+      ++*prof->slices;
       break;
   }
   return more;
@@ -80,6 +80,9 @@ bool IntermittentExecutor::step_impl(int* phase) {
         finish();
         return false;
       }
+      // One kRecovery per successful recharge+reboot, so the event count
+      // equals RunStats::reboots — the fuzzer's pairing invariant.
+      obs::record(opts_.trace, obs_now_s(*dev_), obs::EventKind::kRecovery);
       need_boot_ = true;
       return true;
     }
@@ -88,6 +91,8 @@ bool IntermittentExecutor::step_impl(int* phase) {
       // its own — and a natural suspension point.
       if (phase != nullptr) *phase = 2;
       attempt_start_cycles_ = dev_->trace().total_cycles();
+      obs::record(opts_.trace, obs_now_s(*dev_), obs::EventKind::kBoot,
+                  fresh_ ? 1 : 0);
       policy_->on_boot(c, fresh_);
       dev_->settle_supply();  // slice boundary: close the prepaid window
       fresh_ = false;
@@ -106,6 +111,7 @@ bool IntermittentExecutor::step_impl(int* phase) {
   } catch (const dev::PowerFailure&) {
     const double attempt_cycles = dev_->trace().total_cycles() - attempt_start_cycles_;
     StepContext c = ctx();
+    obs::record(opts_.trace, obs_now_s(*dev_), obs::EventKind::kBrownOut);
     // Livelock watchdog: a power cycle that banked nothing durable
     // (no progress commit, no checkpoint) is futile — the next boot will
     // redo exactly the same work. Enough of those in a row and the run
@@ -114,8 +120,14 @@ bool IntermittentExecutor::step_impl(int* phase) {
     const long banked = st_.progress_commits + st_.checkpoints;
     futile_boots_ = banked > banked_mark_ ? 0 : futile_boots_ + 1;
     banked_mark_ = banked;
+    if (futile_boots_ > 0) {
+      obs::record(opts_.trace, obs_now_s(*dev_), obs::EventKind::kFutileBoot,
+                  static_cast<std::int32_t>(futile_boots_));
+    }
     if (opts_.max_futile_boots > 0 && futile_boots_ >= opts_.max_futile_boots) {
       st_.livelock = true;  // outcome stays kDidNotFinish
+      obs::record(opts_.trace, obs_now_s(*dev_), obs::EventKind::kLivelockTrip,
+                  static_cast<std::int32_t>(futile_boots_));
       finish();
       return false;
     }

@@ -69,6 +69,7 @@ class RuntimePolicy {
   virtual void on_commit(StepContext& ctx, std::size_t unit) {
     (void)unit;
     ++ctx.st.units_executed;
+    obs::record(ctx.opts.trace, obs_now_s(ctx.dev), obs::EventKind::kCommit);
   }
 
   // Voltage-monitor warning (the falling crossing of flex_v_warn):

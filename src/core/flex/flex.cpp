@@ -74,6 +74,7 @@ class FlexPolicy : public RuntimePolicy {
     dev::Device& dev = ctx.dev;
     const ace::CompiledModel& cm = ctx.cm;
     prof_ = ctx.opts.profile;
+    trace_ = ctx.opts.trace;
     if (fresh) {
       load_input(dev, cm, ctx.input);
       // Invalidate both slots: fresh inference, fresh progress.
@@ -247,6 +248,7 @@ class FlexPolicy : public RuntimePolicy {
     const auto before = dev.trace().snapshot();
     const auto host_t0 = prof_ != nullptr ? std::chrono::steady_clock::now()
                                           : std::chrono::steady_clock::time_point{};
+    obs::record(trace_, obs_now_s(dev), obs::EventKind::kCheckpointBegin);
     notify_supply(dev, dev::SupplyEvent::kCheckpointBegin);
     const std::size_t next_seq = seq_ + 1;
     const Addr b = slot_addr(cm, next_seq & 1);
@@ -275,6 +277,8 @@ class FlexPolicy : public RuntimePolicy {
     }
     dev.write(MemKind::kFram, b + kSeq, static_cast<q15_t>(next_seq));
     notify_supply(dev, dev::SupplyEvent::kCheckpointEnd);
+    obs::record(trace_, obs_now_s(dev), obs::EventKind::kCheckpointEnd,
+                static_cast<std::int32_t>(next_seq));
     seq_ = next_seq;
 
     const auto delta = dev.trace().delta(before);
@@ -287,7 +291,7 @@ class FlexPolicy : public RuntimePolicy {
           std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0).count();
       prof_->checkpoint_s += dt;
       prof_->kernel_s -= dt;
-      ++prof_->checkpoints;
+      ++*prof_->checkpoints;
     }
   }
 
@@ -328,6 +332,7 @@ class FlexPolicy : public RuntimePolicy {
 
   std::size_t seq_ = 0;
   PhaseProfile* prof_ = nullptr;  // --profile sink, cached at boot
+  obs::EventTrace* trace_ = nullptr;  // obs sink, cached at boot
   bool warned_ = false;
   bool armed_ = false;
   bool degraded_ = false;

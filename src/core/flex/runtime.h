@@ -43,6 +43,8 @@
 #include "core/ace/compiled_model.h"
 #include "core/ace/kernels.h"
 #include "dsp/fft.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 
 namespace ehdnn::flex {
 
@@ -97,15 +99,27 @@ struct RunStats {
 //                  computed by the driver as total minus the above.
 // Null RunOptions::profile (the default) keeps every instrumentation
 // site down to one predicted branch.
+//
+// The slice/recovery/checkpoint counts live as obs::MetricsRegistry
+// counter cells ("profile.*") rather than plain fields, so the profile
+// printout and the trace-derived metrics read the SAME cells and can
+// never disagree; the hot sites cache the stable `long*` pointers below.
 struct PhaseProfile {
   double build_s = 0.0;
   double recharge_s = 0.0;
   double kernel_s = 0.0;
   double checkpoint_s = 0.0;
   double engine_s = 0.0;
-  long slices = 0;       // policy/boot slices timed into kernel_s
-  long recoveries = 0;   // recover_from_failure slices
-  long checkpoints = 0;  // FLEX checkpoint writes timed into checkpoint_s
+  obs::MetricsRegistry reg;
+  long* slices = reg.counter("profile.slices");  // policy/boot slices (kernel_s)
+  long* recoveries = reg.counter("profile.recoveries");    // recover slices
+  long* checkpoints = reg.counter("profile.checkpoints");  // FLEX ckpt writes
+
+  PhaseProfile() = default;
+  // The cached cells point into this->reg; a copy would alias the
+  // source's registry. Profiles are shared by address (RunOptions).
+  PhaseProfile(const PhaseProfile&) = delete;
+  PhaseProfile& operator=(const PhaseProfile&) = delete;
 };
 
 struct RunOptions {
@@ -115,6 +129,12 @@ struct RunOptions {
   // shared across every run the driver profiles and is NOT thread-safe:
   // drivers only wire it on their serial execution paths.
   PhaseProfile* profile = nullptr;
+  // Lifecycle-event sink (obs/events.h); null = off (one predicted
+  // branch per instrumentation site). Unlike `profile` this IS safe
+  // under parallel drivers because each device gets its OWN trace —
+  // events are stamped with the device-local simulated clock, so the
+  // stream is identical for any worker count.
+  obs::EventTrace* trace = nullptr;
   long max_reboots = 200000;  // livelock guard (BASE/ACE under harvesting)
   // Executor-level livelock watchdog: after this many *consecutive* boots
   // that bank neither a progress commit nor a checkpoint, the run is
@@ -190,6 +210,14 @@ bool recover_from_failure(dev::Device& dev, RunStats& st);
 // one). Runtimes call this at progress-commit and checkpoint boundaries so
 // schedule-driven supplies can inject failures at adversarial instants.
 void notify_supply(dev::Device& dev, dev::SupplyEvent e);
+
+// Simulated-time stamp for obs events: the supply clock when attached
+// (device-local, monotone, invariant under --jobs/--shards), else the
+// device's modeled elapsed time (bench power).
+inline double obs_now_s(const dev::Device& dev) {
+  const dev::PowerSupply* s = dev.supply();
+  return s != nullptr ? s->now() : dev.elapsed_seconds();
+}
 
 // Start-of-inference marker so stats are per-inference deltas even when a
 // device instance runs many inferences.

@@ -159,6 +159,9 @@ class TilePolicy : public RuntimePolicy {
     ace::write_acc64(dev, MemKind::kFram, b + 4, 0, cur_.acc);
     dev.write(MemKind::kFram, b + 0, static_cast<q15_t>(next));
     notify_supply(dev, dev::SupplyEvent::kCommitEnd);
+    obs::record(ctx.opts.trace, obs_now_s(dev), obs::EventKind::kTileCursorWrite,
+                static_cast<std::int32_t>(cur_.layer),
+                static_cast<std::int32_t>(cur_.tile));
     epoch_ = next;
   }
 

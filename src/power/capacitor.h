@@ -19,6 +19,7 @@
 #include <limits>
 
 #include "device/power_interface.h"
+#include "obs/events.h"
 #include "power/harvest.h"
 
 namespace ehdnn::power {
@@ -263,6 +264,19 @@ class CapacitorSupply : public dev::PowerSupply {
   // The final step is partial so the device wakes exactly at t_s (job
   // release instants stay exact in the fleet's timing records).
   void idle_until(double t_s) override {
+    idle_impl(t_s);
+    // One kIdle at the wake instant — the supply-level witness that the
+    // park fast-forward ran (the agenda's kPark records the decision).
+    obs::record(obs_trace_, now_, obs::EventKind::kIdle);
+  }
+
+  // Per-device lifecycle-event sink (non-owning, may be null). The supply
+  // is the only layer that can witness idle fast-forwards, so the obs
+  // hook lives here rather than in the runtimes.
+  void set_trace(obs::EventTrace* t) { obs_trace_ = t; }
+
+ private:
+  void idle_impl(double t_s) {
     if (cfg_.analytic_recharge) {
       idle_analytic(t_s);
       return;
@@ -286,6 +300,7 @@ class CapacitorSupply : public dev::PowerSupply {
     }
   }
 
+ public:
   double now() const override { return now_; }
 
   long failures() const { return failures_; }
@@ -451,6 +466,7 @@ class CapacitorSupply : public dev::PowerSupply {
   double on_time_ = 0.0;
   double off_time_ = 0.0;
   double idle_time_ = 0.0;
+  obs::EventTrace* obs_trace_ = nullptr;  // lifecycle-event sink (may be null)
 };
 
 }  // namespace ehdnn::power

@@ -198,6 +198,20 @@ struct AdaptivePolicy::Impl {
   double cycle_e0 = 0.0;
   double cycle_t0 = 0.0;
 
+  // Last observed forecaster lock state, so the obs stream records each
+  // kForecastLock/kForecastDrop transition exactly once. Checked after
+  // every sample site (gap sensor, success sensor).
+  bool fc_locked = false;
+  void note_forecast_lock(flex::StepContext& ctx) {
+    const bool locked = fc->period_s() > 0.0;
+    if (locked != fc_locked) {
+      obs::record(ctx.opts.trace, flex::obs_now_s(ctx.dev),
+                  locked ? obs::EventKind::kForecastLock
+                         : obs::EventKind::kForecastDrop);
+      fc_locked = locked;
+    }
+  }
+
   void rebuild() {
     tiers.clear();
     base_i = ace_i = flex_i = sonic_i = tile_i = -1;
@@ -423,6 +437,8 @@ void AdaptivePolicy::on_boot(flex::StepContext& ctx, bool fresh) {
     s.no_progress = 0;
     s.force_demote = false;
     s.cur = s.decide_fresh(spec_, ctx);
+    obs::record(ctx.opts.trace, flex::obs_now_s(ctx.dev),
+                obs::EventKind::kTierSelect, s.cur);
     s.activate(ctx);
     return;
   }
@@ -442,6 +458,7 @@ void AdaptivePolicy::on_boot(flex::StepContext& ctx, bool fresh) {
     } else {
       s.fc->record(s.image.burst_energy_j / gap);
     }
+    s.note_forecast_lock(ctx);
   }
 
   // A persistent tier made progress if it banked anything at all this
@@ -475,6 +492,8 @@ void AdaptivePolicy::on_boot(flex::StepContext& ctx, bool fresh) {
     // no forward progress for demote_boots cycles): one rung leaner.
     next = std::min(s.cur + 1, static_cast<int>(s.tiers.size()) - 1);
     s.force_demote = false;
+    obs::record(ctx.opts.trace, flex::obs_now_s(ctx.dev),
+                obs::EventKind::kTierDemote, next, s.cur);
   } else if (!cur.persistent) {
     // Restart-from-scratch tiers bank nothing, so every boot is free to
     // re-decide from the live forecast (this is where a mis-forecast
@@ -484,6 +503,8 @@ void AdaptivePolicy::on_boot(flex::StepContext& ctx, bool fresh) {
 
   if (next != s.cur) {
     ++s.switches;
+    obs::record(ctx.opts.trace, flex::obs_now_s(ctx.dev),
+                obs::EventKind::kTierSwitch, next, s.cur);
     s.no_progress = 0;
     s.cur = next;
     s.activate(ctx);  // tier progress formats are incompatible: restart
@@ -524,6 +545,7 @@ void AdaptivePolicy::observe_success_income(flex::StepContext& ctx) {
   if (t_cycle <= 0.0 || e_cycle <= s.image.burst_energy_j) return;
   s.fc->record_at((e_cycle - s.image.burst_energy_j) / t_cycle,
                   sup->now() - 0.5 * t_cycle);
+  s.note_forecast_lock(ctx);
 }
 
 bool AdaptivePolicy::retry_after_failure(flex::StepContext& ctx, double attempt_cycles) {

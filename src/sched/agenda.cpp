@@ -79,18 +79,24 @@ void JobQueue::arm_next() {
     release_s_ = static_cast<double>(j) * agenda_.period_s;
     dev::PowerSupply& supply = *dev_->supply();
     // Park until release: income accrues, nothing is drawn.
-    if (supply.now() < release_s_) supply.idle_until(release_s_);
+    if (supply.now() < release_s_) {
+      obs::record(opts_.trace, supply.now(), obs::EventKind::kPark, j);
+      supply.idle_until(release_s_);
+    }
     start_s_ = supply.now();
+    obs::record(opts_.trace, start_s_, obs::EventKind::kJobRelease, j);
     opts_.deadline_s = std::isfinite(agenda_.deadline_s)
                            ? release_s_ + agenda_.deadline_s
                            : std::numeric_limits<double>::infinity();
     double reclaimed_j = 0.0;
     if (!should_skip(&reclaimed_j)) {
       consecutive_skips_ = 0;
+      obs::record(opts_.trace, start_s_, obs::EventKind::kJobAdmit, j);
       ex_.start(*dev_, *primary_, (*inputs_)[static_cast<std::size_t>(j)], opts_);
       return;
     }
     // Infeasible release: record the verdict without booting the run.
+    obs::record(opts_.trace, start_s_, obs::EventKind::kJobSkip, j);
     ++consecutive_skips_;
     JobRecord r;
     r.job = j;
@@ -120,6 +126,9 @@ void JobQueue::record_finished() {
   r.outcome = st.outcome;
   r.met_deadline = st.completed() && r.staleness_s <= agenda_.deadline_s;
   r.livelock = st.livelock;
+  obs::record(opts_.trace, r.finish_s,
+              st.completed() ? obs::EventKind::kJobComplete : obs::EventKind::kJobMiss,
+              r.job, r.met_deadline ? 1 : 0);
   r.reboots = st.reboots;
   r.checkpoints = st.checkpoints;
   r.progress_commits = st.progress_commits;

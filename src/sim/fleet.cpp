@@ -54,6 +54,10 @@ struct FleetDevice {
   std::shared_ptr<const ace::CompiledModel> cm_dense;  // adaptive: co-resident twin
   std::vector<std::vector<fx::q15_t>> inputs;  // one per job
   std::unique_ptr<flex::RuntimePolicy> policy;
+  // Lifecycle event sink: counts-only on every device (feeds the metrics
+  // block), ring capture when the device is in trace_devices. Wired into
+  // both RunOptions (executor/policy/queue sites) and the supply (kIdle).
+  obs::EventTrace trace;
   flex::RunOptions opts;
   std::optional<sched::JobQueue> queue;  // constructed last (borrows the rest)
 
@@ -233,7 +237,8 @@ FleetWorld build_world(const FleetConfig& cfg) {
 std::unique_ptr<FleetDevice> make_device(const FleetWorld& w, const FleetConfig& cfg, int d,
                                          bool force_admit_all,
                                          dev::DeviceSlabs* slabs = nullptr,
-                                         flex::PhaseProfile* profile = nullptr) {
+                                         flex::PhaseProfile* profile = nullptr,
+                                         long trace_capacity = 0) {
   const std::size_t gi = w.device_group[static_cast<std::size_t>(d)];
   const FleetGroup& g = cfg.groups[gi];
   const bool adaptive = runtime_is_adaptive(g.agenda.runtime);
@@ -293,6 +298,9 @@ std::unique_ptr<FleetDevice> make_device(const FleetWorld& w, const FleetConfig&
   fd->opts.max_futile_boots = g.max_futile;
   fd->opts.flex_v_warn = power::warn_voltage_for(fd->supply.config(), worst_ck + 5e-6, 3.0);
   fd->opts.profile = profile;  // JobQueue copies opts, so wire before emplace
+  if (trace_capacity > 0) fd->trace.set_capacity(static_cast<std::size_t>(trace_capacity));
+  fd->opts.trace = &fd->trace;  // counts-only unless the capacity above was set
+  fd->supply.set_trace(&fd->trace);
   fd->queue.emplace(fd->device, *fd->policy, *fd->cm_primary, fd->opts, g.agenda, &fd->inputs);
   return fd;
 }
@@ -313,6 +321,13 @@ FleetDeviceResult distill(const FleetWorld& w, const FleetConfig& cfg, int d,
   res.capacitance_f = g.capacitance_f;
   res.jobs = fd.queue->records();
   res.steps = fd.queue->steps();
+  for (int k = 0; k < obs::kKindCount; ++k) res.event_counts[k] = fd.trace.counts()[k];
+  if (fd.trace.capacity() > 0) {
+    res.trace_selected = true;
+    res.trace_events = fd.trace.snapshot();
+    res.trace_dropped = fd.trace.dropped();
+    res.trace_total = fd.trace.total();
+  }
   for (const auto& j : res.jobs) {
     ++res.jobs_total;
     res.reboots += j.reboots;
@@ -354,6 +369,9 @@ struct DeviceRow {
   int jobs_dnf = 0, jobs_starved = 0, jobs_livelock = 0;
   long reboots = 0, tier_switches = 0, steps = 0;
   double energy_j = 0.0, energy_reclaimed_j = 0.0;
+  // Per-kind lifecycle event totals — one more block of mergeable
+  // integers riding the same row (summed into the metrics block).
+  long events[obs::kKindCount] = {};
 };
 
 DeviceRow row_of(const FleetDeviceResult& d) {
@@ -371,7 +389,14 @@ DeviceRow row_of(const FleetDeviceResult& d) {
   r.steps = d.steps;
   r.energy_j = d.energy_j;
   r.energy_reclaimed_j = d.energy_reclaimed_j;
+  for (int k = 0; k < obs::kKindCount; ++k) r.events[k] = d.event_counts[k];
   return r;
+}
+
+// The exported track label for a captured device.
+std::string trace_label(const FleetDeviceResult& d) {
+  return "device " + std::to_string(d.device) + " " + d.group + " " + d.task + "/" +
+         d.runtime;
 }
 
 // Built-in aggregation sink: per-device scalar rows plus the streaming
@@ -383,6 +408,9 @@ class AggregateSink final : public FleetSink {
   std::vector<DeviceRow> rows;
   QuantileSketch latency{kSketchRelErr};
   QuantileSketch staleness{kSketchRelErr};
+  // Retained event rings of trace_devices selections, in record order
+  // until finalize sorts them by id (order-independent like rows).
+  std::vector<obs::TraceCapture> traces;
 
   void record(const FleetDeviceResult& d) override {
     rows.push_back(row_of(d));
@@ -392,6 +420,15 @@ class AggregateSink final : public FleetSink {
         staleness.add(j.staleness_s);
       }
     }
+    if (d.trace_selected) {
+      obs::TraceCapture cap;
+      cap.id = d.device;
+      cap.label = trace_label(d);
+      cap.events = d.trace_events;
+      cap.dropped = d.trace_dropped;
+      cap.total = d.trace_total;
+      traces.push_back(std::move(cap));
+    }
   }
   void merge(const FleetSink& other) override {
     const auto* o = dynamic_cast<const AggregateSink*>(&other);
@@ -399,10 +436,15 @@ class AggregateSink final : public FleetSink {
     rows.insert(rows.end(), o->rows.begin(), o->rows.end());
     latency.merge(o->latency);
     staleness.merge(o->staleness);
+    traces.insert(traces.end(), o->traces.begin(), o->traces.end());
   }
   void finalize() override {
     std::sort(rows.begin(), rows.end(),
               [](const DeviceRow& a, const DeviceRow& b) { return a.device < b.device; });
+    std::sort(traces.begin(), traces.end(),
+              [](const obs::TraceCapture& a, const obs::TraceCapture& b) {
+                return a.id < b.id;
+              });
   }
 };
 
@@ -432,12 +474,24 @@ class DetailSink final : public FleetSink {
 // counters and double sums accumulate in that order, percentiles come
 // from the sketches. This shared funnel is why `--jobs 8`, `--shards 4`
 // and the serial event queue cannot disagree on a single byte.
-FleetReport finalize_report(const FleetConfig& cfg, const AggregateSink& agg,
+FleetReport finalize_report(const FleetConfig& cfg, AggregateSink& agg,
                             DetailSink* detail) {
   FleetReport r;
   r.config = cfg;
   r.sketch_rel_err = kSketchRelErr;
+  // Metrics: rows arrive sorted by id and the registry's cells are plain
+  // integer sums/maxes, so this block lands on the same bytes on every
+  // execution path, exactly like the counters below it.
+  long* ev_cells[obs::kKindCount];
+  for (int k = 0; k < obs::kKindCount; ++k) {
+    ev_cells[k] = r.metrics.counter(std::string("event.") +
+                                    obs::event_name(static_cast<obs::EventKind>(k)));
+  }
+  long* trace_dropped = r.metrics.counter("trace.dropped_events");
+  long* max_reboots = r.metrics.gauge("fleet.max_device_reboots");
   for (const DeviceRow& row : agg.rows) {
+    for (int k = 0; k < obs::kKindCount; ++k) *ev_cells[k] += row.events[k];
+    if (row.reboots > *max_reboots) *max_reboots = row.reboots;
     r.total_jobs += row.jobs_total;
     r.jobs_completed += row.jobs_completed;
     r.jobs_in_deadline += row.jobs_in_deadline;
@@ -468,6 +522,8 @@ FleetReport finalize_report(const FleetConfig& cfg, const AggregateSink& agg,
       r.total_jobs == 0
           ? 0.0
           : static_cast<double>(r.jobs_in_deadline) / static_cast<double>(r.total_jobs);
+  for (const obs::TraceCapture& cap : agg.traces) *trace_dropped += cap.dropped;
+  r.traces = std::move(agg.traces);
   if (detail != nullptr) r.devices = std::move(detail->devices);
   return r;
 }
@@ -505,10 +561,20 @@ void run_range(const FleetWorld& w, const FleetConfig& cfg, int begin, int end,
                                            end - begin <= 1
                                        ? opts.profile
                                        : nullptr;
+  // Ring capture only for the ids in trace_devices (the counts-only trace
+  // is unconditional, wired inside make_device).
+  auto trace_cap_of = [&](int d) -> long {
+    for (const int id : opts.trace_devices) {
+      if (id == d) return std::max<long>(1, opts.trace_capacity);
+    }
+    return 0;
+  };
   auto timed_build = [&](int d, dev::DeviceSlabs* slabs) {
-    if (prof == nullptr) return make_device(w, cfg, d, opts.force_admit_all, slabs, nullptr);
+    if (prof == nullptr) {
+      return make_device(w, cfg, d, opts.force_admit_all, slabs, nullptr, trace_cap_of(d));
+    }
     const auto t0 = std::chrono::steady_clock::now();
-    auto fd = make_device(w, cfg, d, opts.force_admit_all, slabs, prof);
+    auto fd = make_device(w, cfg, d, opts.force_admit_all, slabs, prof, trace_cap_of(d));
     prof->build_s +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     return fd;
@@ -588,7 +654,8 @@ void run_range(const FleetWorld& w, const FleetConfig& cfg, int begin, int end,
     std::mutex mu;
     auto worker = [&] {
       for (int d = cursor.fetch_add(1); d < end; d = cursor.fetch_add(1)) {
-        auto fd = make_device(w, cfg, d, opts.force_admit_all);
+        auto fd = make_device(w, cfg, d, opts.force_admit_all, nullptr, nullptr,
+                              trace_cap_of(d));
         while (fd->queue->step()) {
         }
         const FleetDeviceResult res = distill(w, cfg, d, *fd);
@@ -618,7 +685,7 @@ double shard_num(const std::string& field, const std::string& where) {
   return *v;
 }
 
-// One parsed shard partial (schema ehdnn-fleet-shard-v1).
+// One parsed shard partial (schema ehdnn-fleet-shard-v2).
 struct ShardPartial {
   int shard = 0;
   int shards = 0;
@@ -633,8 +700,9 @@ struct ShardPartial {
 ShardPartial parse_shard_partial(std::istream& is, const std::string& where) {
   ShardPartial p;
   std::string line;
-  check(static_cast<bool>(std::getline(is, line)) && line == "ehdnn-fleet-shard-v1",
-        where + ": not a fleet shard partial (bad magic)");
+  check(static_cast<bool>(std::getline(is, line)) && line == "ehdnn-fleet-shard-v2",
+        where + ": not a fleet shard partial (bad magic; v1 partials predate "
+                "event tracing — regenerate with this build)");
   check(static_cast<bool>(std::getline(is, line)), where + ": truncated header");
   {
     std::istringstream hs(line);
@@ -675,10 +743,33 @@ ShardPartial parse_shard_partial(std::istream& is, const std::string& where) {
       ls >> r.device >> r.jobs_total >> r.jobs_completed >> r.jobs_in_deadline >>
           r.jobs_skipped >> r.jobs_dnf >> r.jobs_starved >> r.jobs_livelock >> r.reboots >>
           r.tier_switches >> r.steps >> energy >> reclaimed;
+      for (int k = 0; k < obs::kKindCount; ++k) ls >> r.events[k];
       check(!ls.fail(), where + ": bad row \"" + line + "\"");
       r.energy_j = shard_num(energy, where);
       r.energy_reclaimed_j = shard_num(reclaimed, where);
       p.agg.rows.push_back(r);
+    } else if (tag == "trace") {
+      obs::TraceCapture cap;
+      std::size_t n_events = 0;
+      ls >> cap.id >> n_events >> cap.dropped >> cap.total;
+      check(!ls.fail(), where + ": bad trace header \"" + line + "\"");
+      std::getline(ls, cap.label);
+      if (!cap.label.empty() && cap.label.front() == ' ') cap.label.erase(0, 1);
+      cap.events.reserve(n_events);
+      for (std::size_t i = 0; i < n_events; ++i) {
+        check(static_cast<bool>(std::getline(is, line)), where + ": truncated trace");
+        std::istringstream es(line);
+        std::string etag, ts;
+        int kind = 0;
+        obs::Event e;
+        es >> etag >> ts >> kind >> e.a >> e.b;
+        check(etag == "ev" && !es.fail() && kind >= 0 && kind < obs::kKindCount,
+              where + ": bad event line \"" + line + "\"");
+        e.t_s = shard_num(ts, where);
+        e.kind = static_cast<obs::EventKind>(kind);
+        cap.events.push_back(e);
+      }
+      p.agg.traces.push_back(std::move(cap));
     } else if (tag == "job") {
       p.has_detail = true;
       int device = 0;
@@ -863,9 +954,25 @@ FleetEngine& FleetEngine::add_sink(FleetSink& sink) {
   return *this;
 }
 
+// Shared FleetRunOptions validation: the profile request must never be
+// silently dropped (jobs > 1 has no synchronized sink — satellite of the
+// observability PR), and trace selections must name real devices.
+static void validate_run_options(const FleetRunOptions& ropts, int n) {
+  check(ropts.profile == nullptr || std::max(ropts.jobs, 1) == 1,
+        "fleet: --profile needs --jobs 1 (one shared, unsynchronized sink); "
+        "the request used to be silently ignored under a worker pool");
+  for (const int id : ropts.trace_devices) {
+    check(id >= 0 && id < n,
+          "fleet: trace device id " + std::to_string(id) + " out of range [0, " +
+              std::to_string(n) + ")");
+  }
+  check(ropts.trace_capacity >= 1, "fleet: trace_capacity must be >= 1");
+}
+
 FleetReport FleetEngine::run(const FleetRunOptions& ropts) {
   const auto wall0 = std::chrono::steady_clock::now();
   const FleetWorld w = build_world(cfg_);
+  validate_run_options(ropts, w.n);
   if (ropts.profile != nullptr) {
     // World build (model gen + per-group template compiles) is build
     // time, like device stamping.
@@ -939,6 +1046,7 @@ void FleetEngine::run_shard(std::ostream& os, int shard, int shards,
   check(ropts.baseline_runtimes.empty() && !ropts.compare_admission,
         "run_shard: baseline/admission reruns are whole-population operations");
   const FleetWorld w = build_world(cfg_);
+  validate_run_options(ropts, w.n);
   const int begin = static_cast<int>(static_cast<long long>(w.n) * shard / shards);
   const int end = static_cast<int>(static_cast<long long>(w.n) * (shard + 1) / shards);
 
@@ -951,7 +1059,7 @@ void FleetEngine::run_shard(std::ostream& os, int shard, int shards,
   run_range(w, cfg_, begin, end, ropts, sinks);
   for (FleetSink* s : sinks) s->finalize();
 
-  os << "ehdnn-fleet-shard-v1\n";
+  os << "ehdnn-fleet-shard-v2\n";
   os << "range " << shard << " " << shards << " " << begin << " " << end << "\n";
   os << "config-begin\n";
   write_fleet_config(os, cfg_);
@@ -966,7 +1074,22 @@ void FleetEngine::run_shard(std::ostream& os, int shard, int shards,
        << r.jobs_in_deadline << " " << r.jobs_skipped << " " << r.jobs_dnf << " "
        << r.jobs_starved << " " << r.jobs_livelock << " " << r.reboots << " "
        << r.tier_switches << " " << r.steps << " " << g17(r.energy_j) << " "
-       << g17(r.energy_reclaimed_j) << "\n";
+       << g17(r.energy_reclaimed_j);
+    // v2: the per-kind event totals ride the row as one more mergeable
+    // integer block.
+    for (int k = 0; k < obs::kKindCount; ++k) os << " " << r.events[k];
+    os << "\n";
+  }
+  // v2: retained event rings of this shard's trace_devices selections.
+  // Timestamps round-trip as %.17g, so the merged captures are
+  // bit-identical to an unsharded run's.
+  for (const obs::TraceCapture& cap : agg.traces) {
+    os << "trace " << cap.id << " " << cap.events.size() << " " << cap.dropped << " "
+       << cap.total << " " << cap.label << "\n";
+    for (const obs::Event& e : cap.events) {
+      os << "ev " << g17(e.t_s) << " " << static_cast<int>(e.kind) << " " << e.a << " "
+         << e.b << "\n";
+    }
   }
   if (cfg_.per_device_detail) {
     for (const FleetDeviceResult& d : detail.devices) {
@@ -1076,7 +1199,7 @@ FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts) {
 
 void write_fleet_json(std::ostream& os, const FleetReport& r) {
   const FleetConfig& c = r.config;
-  os << "{\n  \"schema\": \"ehdnn-fleet-v5\",\n";
+  os << "{\n  \"schema\": \"ehdnn-fleet-v6\",\n";
   os << "  \"seed\": " << c.seed << ",\n";
   os << "  \"source\": " << json_str(c.source) << ",\n";
   os << "  \"offset_spread_s\": " << c.offset_spread_s << ",\n";
@@ -1114,6 +1237,8 @@ void write_fleet_json(std::ostream& os, const FleetReport& r) {
   os << "    \"total_reboots\": " << r.total_reboots << ", \"tier_switches\": "
      << r.total_tier_switches << ", \"total_steps\": " << r.total_steps
      << ", \"total_energy_j\": " << r.total_energy_j << "\n  },\n";
+  obs::write_metrics_json(os, r.metrics, "  ");
+  os << ",\n";
   os << "  \"baselines\": [";
   for (std::size_t i = 0; i < r.baselines.size(); ++i) {
     const FleetBaseline& b = r.baselines[i];

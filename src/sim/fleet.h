@@ -25,12 +25,20 @@
 // per-job arrays.
 //
 // Devices are fully independent, so the report — and the bytes of
-// FLEET.json, schema ehdnn-fleet-v5 — is identical whether the population
+// FLEET.json, schema ehdnn-fleet-v6 — is identical whether the population
 // ran on the event queue, the legacy round-robin loop, a worker pool
 // (FleetRunOptions::jobs), or split across processes as shards
 // (run_shard + merge_fleet_shards): every aggregation path sorts by
 // device id and sums in id order, and sketch merges are bin-wise integer
 // adds, so no floating-point result depends on completion order.
+//
+// Observability (schema v6): every device carries an obs::EventTrace in
+// counts-only mode — the per-kind totals stream through the same sorted
+// row funnel into the report's `metrics` block — and devices named in
+// FleetRunOptions::trace_devices additionally retain their event ring for
+// export (Chrome trace_event JSON / deterministic text). Events are
+// stamped with the device's own supply clock, so traces are byte-stable
+// across --jobs and --shards just like the JSON.
 #pragma once
 
 #include <iosfwd>
@@ -39,6 +47,7 @@
 
 #include "core/flex/runtime.h"
 #include "models/zoo.h"
+#include "obs/export.h"
 #include "sched/agenda.h"
 
 namespace ehdnn::sim {
@@ -130,8 +139,17 @@ struct FleetRunOptions {
   // Host wall-clock phase attribution (--profile): recharge vs kernel vs
   // checkpoint vs engine time. Honored only on the serial event-engine
   // and legacy paths (the worker pool shares one sink unsynchronized);
-  // null = no instrumentation.
+  // null = no instrumentation. run()/run_shard() THROW when profile is
+  // set together with jobs > 1 — the request used to be silently ignored,
+  // which read as "the run was profiled" when it was not.
   flex::PhaseProfile* profile = nullptr;
+  // Devices whose event ring is retained for export (--trace-devices).
+  // Every device always collects counts-only events for the metrics
+  // block; listing an id here additionally keeps its most recent
+  // `trace_capacity` events as a FleetReport::traces capture. Ids must be
+  // in [0, N); baseline/admission reruns never capture.
+  std::vector<int> trace_devices;
+  long trace_capacity = 65536;
 };
 
 // One device's agenda outcome, plus its fleet coordinates. `jobs` is
@@ -157,6 +175,14 @@ struct FleetDeviceResult {
   double energy_j = 0.0;
   double energy_reclaimed_j = 0.0;  // admission's estimated savings
   long steps = 0;  // scheduler slices (executor slices + agenda arms)
+  // Per-kind lifecycle event totals (counts-only EventTrace; always
+  // collected) — what the report's `metrics` block sums.
+  long event_counts[obs::kKindCount] = {};
+  // Retained ring, only for devices named in trace_devices.
+  bool trace_selected = false;
+  std::vector<obs::Event> trace_events;
+  long trace_dropped = 0;
+  long trace_total = 0;
 };
 
 // A fixed-runtime rerun of the same population (FleetRunOptions::
@@ -202,6 +228,16 @@ struct FleetReport {
   // FleetRunOptions::compare_admission rerun (admit forced to all); the
   // `runtime` field is repurposed as the literal "admit=all".
   std::vector<FleetBaseline> admission_baseline;
+
+  // Lifecycle metrics from the MAIN run only (baseline/admission reruns
+  // excluded): "event.<name>" counters summed over every device,
+  // "trace.dropped_events" over the captured rings, and the
+  // "fleet.max_device_reboots" gauge. Merged bin-wise, so every execution
+  // path serializes the same block.
+  obs::MetricsRegistry metrics;
+  // Retained event rings for FleetRunOptions::trace_devices, sorted by
+  // device id — the input to obs::write_chrome_trace / write_text_trace.
+  std::vector<obs::TraceCapture> traces;
 };
 
 // Observer of per-device results. record() is called once per device as
@@ -231,9 +267,10 @@ class FleetSink {
 // the attached sinks (plus the engine's internal aggregation sinks) and
 // returns the deterministic report. run_shard() runs only the shard's
 // contiguous device range and streams a mergeable partial artifact
-// (schema ehdnn-fleet-shard-v1) instead; merge_fleet_shards() folds the
-// complete set of partials into the identical FleetReport — byte-for-byte
-// the JSON that `--shards 1` produces.
+// (schema ehdnn-fleet-shard-v2: v1 plus per-row event counts and the
+// shard's retained trace captures) instead; merge_fleet_shards() folds
+// the complete set of partials into the identical FleetReport —
+// byte-for-byte the JSON that `--shards 1` produces, traces included.
 class FleetEngine {
  public:
   explicit FleetEngine(FleetConfig cfg);
@@ -261,14 +298,14 @@ FleetReport merge_fleet_shards(const std::vector<std::string>& paths);
 // Compatibility wrapper: FleetEngine(cfg).run(ropts).
 FleetReport run_fleet(const FleetConfig& cfg, const FleetRunOptions& ropts = {});
 
-// FLEET.json, schema ehdnn-fleet-v5 (see BENCHMARKS.md "Fleet" for the
-// v4 -> v5 reader notes: percentiles are now streaming-sketch estimates
-// with exact max — the aggregate block gains "percentiles"/
-// "sketch_rel_err" provenance, "livelock" and "total_steps" counters —
-// and the header gains "detail", with per_device emitted as [] under
-// detail=aggregate; v3 -> v4 added the per-job "livelock" verdict and
-// the max_futile echo, v2 -> v3 the "skipped_infeasible" verdict and the
-// admission block).
+// FLEET.json, schema ehdnn-fleet-v6 (see BENCHMARKS.md "Observability"
+// for the v5 -> v6 reader notes: the report gains a "metrics" block —
+// "event.*" lifecycle counters plus gauges — between "aggregate" and
+// "baselines"; every other field is byte-identical to v5. v4 -> v5 made
+// percentiles streaming-sketch estimates with exact max, added
+// "livelock"/"total_steps" and the "detail" header; v3 -> v4 added the
+// per-job "livelock" verdict and the max_futile echo, v2 -> v3 the
+// "skipped_infeasible" verdict and the admission block).
 void write_fleet_json(std::ostream& os, const FleetReport& r);
 
 }  // namespace ehdnn::sim

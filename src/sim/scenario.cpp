@@ -121,7 +121,7 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
                       const std::map<bool, std::vector<fx::q15_t>>& inputs,
                       const ScenarioSpec& sc, const power::HarvestSource* src,
                       std::uint64_t scramble_seed,
-                      flex::PhaseProfile* profile) {
+                      flex::PhaseProfile* profile, long trace_capacity) {
   const RuntimeEntry& rk = runtime_entry(rt_key);
   // Adaptive devices carry the dense twin too, so they get the enlarged
   // baseline FRAM geometry.
@@ -129,6 +129,11 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
       models::deployment_device_config(rk.adaptive ? false : rk.compressed);
   dcfg.scramble_seed = scramble_seed;
   dev::Device dev(dcfg);
+
+  // Counts-only lifecycle trace on every cell (metrics block); ring
+  // capture when the sweep selected this cell index.
+  obs::EventTrace trace;
+  if (trace_capacity > 0) trace.set_capacity(static_cast<std::size_t>(trace_capacity));
 
   power::ContinuousPower cont;
   std::unique_ptr<power::CapacitorSupply> cap;
@@ -140,6 +145,7 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
     ccfg.capacitance_f = sc.capacitance_f;
     ccfg.max_off_s = sc.max_off_s;
     cap = std::make_unique<power::CapacitorSupply>(*src, ccfg);
+    cap->set_trace(&trace);
     dev.attach_supply(cap.get());
   }
 
@@ -155,6 +161,7 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
       continuous ? std::numeric_limits<double>::infinity() : cap->burst_energy());
   flex::RunOptions opts;
   opts.profile = profile;
+  opts.trace = &trace;
   opts.max_reboots = sc.max_reboots;
   opts.max_futile_boots = sc.max_futile;
   if (!continuous) {
@@ -179,6 +186,13 @@ ScenarioCell run_cell(const std::string& rt_key, models::Task task,
   cell.progress_commits = st.progress_commits;
   cell.units_executed = st.units_executed;
   cell.units_total = st.units_total;
+  for (int k = 0; k < obs::kKindCount; ++k) cell.event_counts[k] = trace.counts()[k];
+  if (trace.capacity() > 0) {
+    cell.trace_selected = true;
+    cell.trace_events = trace.snapshot();
+    cell.trace_dropped = trace.dropped();
+    cell.trace_total = trace.total();
+  }
   return cell;
 }
 
@@ -259,6 +273,12 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
   m.runtimes = runtimes;
   m.scenarios = scenarios;
 
+  // The profile request must never be silently dropped: phase attribution
+  // shares one unsynchronized sink, so it is serial-only by design.
+  check(opts.profile == nullptr || std::max(opts.jobs, 1) == 1,
+        "scenario sweep: --profile needs --jobs 1 (one shared, unsynchronized "
+        "sink); the request used to be silently ignored under a worker pool");
+
   // Fail fast on bad inputs before hours of sweeping; sources are
   // immutable (power_at is const), so each scenario's is built once and
   // shared read-only by its cells across workers.
@@ -300,6 +320,11 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
   // an atomic cursor and write results into their fixed slot, so the
   // matrix is byte-identical for any job count.
   const std::size_t n_cells = tasks.size() * scenarios.size() * runtimes.size();
+  for (const int id : opts.trace_cells) {
+    check(id >= 0 && static_cast<std::size_t>(id) < n_cells,
+          "scenario sweep: trace cell index " + std::to_string(id) +
+              " out of range [0, " + std::to_string(n_cells) + ")");
+  }
   m.cells.resize(n_cells);
   std::atomic<std::size_t> cursor{0};
   std::mutex log_mu;
@@ -317,9 +342,13 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
       // cannot change the matrix.)
       const std::uint64_t cell_seed =
           opts.seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(i) + 1);
+      long trace_cap = 0;
+      for (const int id : opts.trace_cells) {
+        if (static_cast<std::size_t>(id) == i) trace_cap = std::max<long>(1, opts.trace_capacity);
+      }
       ScenarioCell cell = run_cell(rt, tasks[ti], qms[ti], inputs[ti], sc,
-                                   sources[si].get(), cell_seed,
-                                   opts.jobs <= 1 ? opts.profile : nullptr);
+                                   sources[si].get(), cell_seed, opts.profile,
+                                   trace_cap);
       if (opts.verbose) {
         const std::lock_guard<std::mutex> lock(log_mu);
         std::fprintf(stderr, "scenario %s/%s/%s: %s (on %.3fs, off %.3fs, %ld reboots)\n",
@@ -340,11 +369,38 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
     for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
+
+  // Metrics and trace captures from the finished cell array, summed in
+  // canonical cell order — deterministic for any worker count because the
+  // array itself is.
+  long* ev_cells[obs::kKindCount];
+  for (int k = 0; k < obs::kKindCount; ++k) {
+    ev_cells[k] = m.metrics.counter(std::string("event.") +
+                                    obs::event_name(static_cast<obs::EventKind>(k)));
+  }
+  long* trace_dropped = m.metrics.counter("trace.dropped_events");
+  long* max_reboots = m.metrics.gauge("sweep.max_cell_reboots");
+  for (std::size_t i = 0; i < m.cells.size(); ++i) {
+    const ScenarioCell& c = m.cells[i];
+    for (int k = 0; k < obs::kKindCount; ++k) *ev_cells[k] += c.event_counts[k];
+    if (c.reboots > *max_reboots) *max_reboots = c.reboots;
+    if (c.trace_selected) {
+      obs::TraceCapture cap;
+      cap.id = static_cast<int>(i);
+      cap.label = "cell " + std::to_string(i) + " " + c.task + "/" + c.scenario + "/" +
+                  c.runtime;
+      cap.events = c.trace_events;
+      cap.dropped = c.trace_dropped;
+      cap.total = c.trace_total;
+      *trace_dropped += cap.dropped;
+      m.traces.push_back(std::move(cap));
+    }
+  }
   return m;
 }
 
 void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m) {
-  os << "{\n  \"schema\": \"ehdnn-scenarios-v2\",\n";
+  os << "{\n  \"schema\": \"ehdnn-scenarios-v3\",\n";
   os << "  \"seed\": " << m.seed << ",\n";
   auto str_list = [&os](const std::vector<std::string>& v) {
     for (std::size_t i = 0; i < v.size(); ++i) {
@@ -381,7 +437,9 @@ void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m) {
        << ", \"units_total\": " << c.units_total << "}"
        << (i + 1 < m.cells.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n";
+  obs::write_metrics_json(os, m.metrics, "  ");
+  os << "\n}\n";
 }
 
 }  // namespace ehdnn::sim

@@ -13,6 +13,7 @@
 #include "core/flex/executor.h"
 #include "core/flex/runtime.h"
 #include "models/zoo.h"
+#include "obs/export.h"
 
 namespace ehdnn::sim {
 
@@ -56,6 +57,14 @@ struct ScenarioCell {
   long progress_commits = 0;
   long units_executed = 0;
   long units_total = 0;
+  // Per-kind lifecycle event totals (counts-only obs::EventTrace attached
+  // to every cell) — summed into the matrix `metrics` block.
+  long event_counts[obs::kKindCount] = {};
+  // Retained event ring, only for cells named in SweepOptions::trace_cells.
+  bool trace_selected = false;
+  std::vector<obs::Event> trace_events;
+  long trace_dropped = 0;
+  long trace_total = 0;
 };
 
 struct ScenarioMatrix {
@@ -64,6 +73,13 @@ struct ScenarioMatrix {
   std::vector<std::string> tasks;
   std::vector<ScenarioSpec> scenarios;
   std::vector<ScenarioCell> cells;
+  // Lifecycle metrics summed over the cells in canonical order — the v3
+  // `metrics` block, byte-identical for any job count because the cell
+  // array it sums is.
+  obs::MetricsRegistry metrics;
+  // Retained event rings for SweepOptions::trace_cells, in cell-index
+  // order — input to obs::write_chrome_trace / write_text_trace.
+  std::vector<obs::TraceCapture> traces;
 };
 
 struct SweepOptions {
@@ -74,9 +90,16 @@ struct SweepOptions {
   // bytes of SCENARIOS.json — is identical for any job count; only
   // wall-clock changes. Values < 1 are clamped to 1.
   int jobs = 1;
-  // Wall-clock phase attribution (--profile); honored only on the serial
-  // sweep (jobs == 1 — one unsynchronized sink), null = off.
+  // Wall-clock phase attribution (--profile); serial sweep only (jobs ==
+  // 1 — one unsynchronized sink), null = off. run_matrix THROWS when set
+  // together with jobs > 1 — the request used to be silently dropped,
+  // which read as "the sweep was profiled" when it was not.
   flex::PhaseProfile* profile = nullptr;
+  // Cells (canonical sweep indices: task-major, then scenario, then
+  // runtime) whose event ring is retained for export. Every cell always
+  // collects counts-only events for the metrics block.
+  std::vector<int> trace_cells;
+  long trace_capacity = 65536;
 };
 
 // Runtime keys, in sweep order: base, sonic/tails and tile execute the
@@ -120,8 +143,10 @@ ScenarioMatrix run_matrix(const std::vector<std::string>& runtimes,
                           const std::vector<ScenarioSpec>& scenarios,
                           const SweepOptions& opts = {});
 
-// SCENARIOS.json, schema ehdnn-scenarios-v2 (see BENCHMARKS.md; v2 adds
-// the per-cell "livelock" flag and the scenario "max_futile" option).
+// SCENARIOS.json, schema ehdnn-scenarios-v3 (see BENCHMARKS.md
+// "Observability": v3 appends the matrix-level "metrics" block —
+// "event.*" lifecycle counters plus gauges — after "cells"; v2 added the
+// per-cell "livelock" flag and the scenario "max_futile" option).
 void write_scenarios_json(std::ostream& os, const ScenarioMatrix& m);
 
 }  // namespace ehdnn::sim

@@ -263,8 +263,8 @@ FleetConfig admission_fleet() {
   return cfg;
 }
 
-TEST(FleetJson, V5AdmissionGolden) {
-  // The FLEET v5 schema's admission story end to end: real skipped
+TEST(FleetJson, V6AdmissionGolden) {
+  // The FLEET schema's admission story end to end: real skipped
   // releases, the aggregate admission block, the per-job
   // skipped_infeasible verdict with its reclaimed-energy estimate, and
   // the admit-all comparison rerun.
@@ -300,11 +300,11 @@ TEST(FleetJson, V5AdmissionGolden) {
   write_fleet_json(os, r);
   const std::string j = os.str();
   for (const char* needle :
-       {"\"schema\": \"ehdnn-fleet-v5\"", "\"admission\": {\"skipped_infeasible\":",
+       {"\"schema\": \"ehdnn-fleet-v6\"", "\"admission\": {\"skipped_infeasible\":",
         "\"energy_reclaimed_j\":", "\"outcome\": \"skipped_infeasible\"",
         "\"admission_baseline\": [", "\"mode\": \"admit=all\"", "\"jobs_skipped\":",
         "\"detail\": \"full\"", "\"percentiles\": \"qsketch\"", "\"sketch_rel_err\": 0.01",
-        "\"livelock\":", "\"total_steps\":"}) {
+        "\"livelock\":", "\"total_steps\":", "\"metrics\":", "\"event.job_skip\":"}) {
     EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle;
   }
 }

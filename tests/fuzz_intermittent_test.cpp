@@ -18,6 +18,7 @@
 #include "nn/dense.h"
 #include "nn/model.h"
 #include "nn/simple_layers.h"
+#include "obs/events.h"
 #include "power/capacitor.h"
 #include "power/continuous.h"
 #include "power/failure_schedule.h"
@@ -173,6 +174,37 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
   // bit for bit and each other on every stat.
   auto policy = make_case_policy(fc);
 
+  // Every schedule also runs under a lifecycle EventTrace, and the trace
+  // must agree with the stats the runtime reports: one recovery per
+  // reboot, exactly one cold boot on top of the recoveries, one brown-out
+  // per reboot (the run completes, so no trailing unrecovered brown-out),
+  // and simulated-time stamps that never run backwards. The ring is sized
+  // so no case drops (the count invariants hold regardless; the
+  // monotonicity walk needs the full event stream).
+  obs::EventTrace trace;
+  trace.set_capacity(std::size_t{1} << 16);
+  auto check_trace_invariants = [&](long reboots, std::uint64_t seed,
+                                    const char* path) {
+    ASSERT_EQ(trace.count(obs::EventKind::kRecovery), reboots)
+        << fc.runtime << " " << path << " seed " << seed;
+    ASSERT_EQ(trace.count(obs::EventKind::kBoot),
+              trace.count(obs::EventKind::kRecovery) + 1)
+        << fc.runtime << " " << path << " seed " << seed;
+    ASSERT_EQ(trace.count(obs::EventKind::kBrownOut), reboots)
+        << fc.runtime << " " << path << " seed " << seed;
+    ASSERT_EQ(trace.dropped(), 0)
+        << fc.runtime << " " << path << " seed " << seed
+        << ": ring too small for the monotonicity walk";
+    double prev = -1.0;
+    for (const obs::Event& ev : trace.snapshot()) {
+      ASSERT_GE(ev.t_s, prev)
+          << fc.runtime << " " << path << " seed " << seed << ": "
+          << obs::event_name(ev.kind) << " stamped before its predecessor";
+      prev = ev.t_s;
+    }
+  };
+  opts.trace = &trace;
+
   long total_failures = 0;
   for (int i = 0; i < fc.schedules; ++i) {
     const std::uint64_t seed = fc.seed0 + static_cast<std::uint64_t>(i);
@@ -182,6 +214,7 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
     power::FailureScheduleSupply supply(seed, scfg);
     dev.attach_supply(&supply);
     const auto cm = ace::compile(qm, dev);
+    trace.clear();
     const RunStats st = rt->infer(dev, cm, input, opts);
 
     ASSERT_TRUE(st.completed()) << fc.runtime << " seed " << seed;
@@ -191,11 +224,13 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
         << " (" << supply.failures() << " injected failures)";
     EXPECT_EQ(st.reboots, supply.failures()) << fc.runtime << " seed " << seed;
     total_failures += supply.failures();
+    check_trace_invariants(st.reboots, seed, "infer");
 
     dev::Device dev2;
     power::FailureScheduleSupply supply2(seed, scfg);
     dev2.attach_supply(&supply2);
     const auto cm2 = ace::compile(qm, dev2);
+    trace.clear();
     IntermittentExecutor ex(*policy);
     ex.start(dev2, cm2, input, opts);
     while (ex.step()) {
@@ -208,6 +243,7 @@ TEST_P(CrashConsistency, BitExactUnderSeededSchedules) {
     ASSERT_EQ(se.checkpoints, st.checkpoints) << fc.runtime << " seed " << seed;
     ASSERT_EQ(se.progress_commits, st.progress_commits) << fc.runtime << " seed " << seed;
     ASSERT_EQ(se.units_executed, st.units_executed) << fc.runtime << " seed " << seed;
+    check_trace_invariants(se.reboots, seed, "executor");
   }
 
   // The schedules must actually bite: on average multiple brown-outs per

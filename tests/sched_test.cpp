@@ -534,9 +534,9 @@ TEST(FleetConfig, RejectsMalformedEntries) {
   EXPECT_THROW(parse("group count=1 max_futile=-1\n"), Error);
 }
 
-// --------------------------------------------------- FLEET.json v5 schema
+// --------------------------------------------------- FLEET.json v6 schema
 
-TEST(FleetJson, V5SchemaGolden) {
+TEST(FleetJson, V6SchemaGolden) {
   sim::FleetConfig cfg;
   cfg.source = "square:hi=4e-3,lo=0.2e-3,period=0.02,duty=0.5";
   cfg.offset_spread_s = 0.02;
@@ -558,10 +558,15 @@ TEST(FleetJson, V5SchemaGolden) {
   // Schema marker and every carried field family must be present (v3
   // added the admission block, per-device jobs_skipped, and per-job
   // energy_reclaimed_j; v4 added the per-group max_futile echo and the
-  // "livelock" verdict; v5 adds the detail mode, sketch-based percentile
-  // provenance, and the aggregate livelock/total_steps counters).
+  // "livelock" verdict; v5 added the detail mode, sketch-based percentile
+  // provenance, and the aggregate livelock/total_steps counters; v6 adds
+  // the lifecycle "metrics" block).
   for (const char* needle :
-       {"\"schema\": \"ehdnn-fleet-v5\"", "\"detail\": \"full\"",
+       {"\"schema\": \"ehdnn-fleet-v6\"", "\"detail\": \"full\"",
+        "\"metrics\":", "\"counters\":", "\"gauges\":", "\"event.boot\":",
+        "\"event.brown_out\":", "\"event.recovery\":", "\"event.commit\":",
+        "\"event.checkpoint_begin\":", "\"event.job_complete\":",
+        "\"trace.dropped_events\":", "\"fleet.max_device_reboots\":",
         "\"percentiles\": \"qsketch\"", "\"sketch_rel_err\":", "\"total_steps\":",
         "\"max_futile\":", "\"groups\":", "\"aggregate\":",
         "\"baselines\":",
@@ -579,6 +584,7 @@ TEST(FleetJson, V5SchemaGolden) {
   EXPECT_EQ(j.find("ehdnn-fleet-v2"), std::string::npos);
   EXPECT_EQ(j.find("ehdnn-fleet-v3"), std::string::npos);
   EXPECT_EQ(j.find("ehdnn-fleet-v4"), std::string::npos);
+  EXPECT_EQ(j.find("ehdnn-fleet-v5"), std::string::npos);
 }
 
 }  // namespace

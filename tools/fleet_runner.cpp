@@ -1,16 +1,23 @@
 // Fleet-simulation CLI: runs a population of independent intermittent
 // devices — homogeneous via flags, heterogeneous and duty-cycled via a
 // fleet config file — on the event-driven fleet engine, and writes
-// FLEET.json (schema ehdnn-fleet-v5; see BENCHMARKS.md "Fleet"). Run
-// from the repo root so trace paths resolve:
+// FLEET.json (schema ehdnn-fleet-v6; see BENCHMARKS.md "Fleet" and
+// "Observability"). Run from the repo root so trace paths resolve:
 //
 //   ./build/fleet_runner --out FLEET.json               # 64-dev office RF
 //   ./build/fleet_runner --config configs/fleet_hetero.cfg --jobs 4
 //   ./build/fleet_runner --config configs/fleet_hetero.cfg --compare-fixed
 //   ./build/fleet_runner --devices 256 --task har --runtime tails
 //
+// Lifecycle event traces (Chrome trace_event JSON for Perfetto /
+// chrome://tracing, or the deterministic text dump the goldens pin):
+//
+//   ./build/fleet_runner --config configs/fleet_microcap.cfg \
+//       --trace-devices 0,8,12 --trace-out microcap.trace.json
+//
 // Populations too big for one process split into shard partials that
-// merge into byte-identical JSON (any shard count, including 1):
+// merge into byte-identical JSON (any shard count, including 1) — trace
+// selections ride the partials, so --trace-out belongs on the --merge:
 //
 //   ./build/fleet_runner --config big.cfg --shards 4 --shard 0 --out s0.part
 //   ...                                             --shard 3 --out s3.part
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "models/zoo.h"
+#include "obs/export.h"
 #include "sim/fleet.h"
 #include "sim/scenario.h"
 #include "util/check.h"
@@ -49,10 +57,12 @@ int main(int argc, char** argv) {
   sim::FleetConfig flag_cfg;
   std::string population_flag;  // last population flag seen
 
+  std::string trace_out, trace_text_out, trace_devices_arg;
+
   CliParser p("fleet_runner",
               "Runs a fleet of independent intermittent devices against time-offset\n"
               "views of one harvest environment and writes FLEET.json "
-              "(ehdnn-fleet-v5).");
+              "(ehdnn-fleet-v6).");
   p.str("--out", "FILE", "output path (JSON, or the shard partial)", &out_path);
   p.str("--config", "FILE", "fleet config file (heterogeneous populations)",
         &config_path);
@@ -119,11 +129,43 @@ int main(int argc, char** argv) {
   bool profile = false;
   p.toggle("--profile", "print a host wall-clock phase breakdown (serial runs)",
            &profile);
+  p.str("--trace-devices", "ID[,ID...]",
+        "device ids whose lifecycle event rings are retained for export",
+        &trace_devices_arg);
+  p.str("--trace-out", "FILE",
+        "write the retained rings as Chrome trace_event JSON (Perfetto)", &trace_out);
+  p.str("--trace-text-out", "FILE",
+        "write the retained rings as the deterministic text dump", &trace_text_out);
+  p.value("--trace-capacity", "N", "events retained per traced device",
+          [&](const std::string& v) {
+            ropts.trace_capacity = static_cast<long>(to_num("--trace-capacity", v));
+            check(ropts.trace_capacity >= 1, "--trace-capacity needs a positive integer");
+          });
   add_listing_flags(p);
   p.positionals("PARTIAL", "shard partial files to --merge",
                 [&](const std::string& v) { merge_inputs.push_back(v); });
 
   if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
+
+  // Comma-separated trace selection -> FleetRunOptions::trace_devices.
+  if (!trace_devices_arg.empty()) {
+    std::size_t pos = 0;
+    while (pos <= trace_devices_arg.size()) {
+      std::size_t comma = trace_devices_arg.find(',', pos);
+      if (comma == std::string::npos) comma = trace_devices_arg.size();
+      const std::string item = trace_devices_arg.substr(pos, comma - pos);
+      pos = comma + 1;
+      const auto d = parse_double(item);
+      if (!d.has_value() || *d < 0 || *d != static_cast<double>(static_cast<int>(*d))) {
+        std::fprintf(stderr,
+                     "fleet_runner: --trace-devices needs comma-separated device ids, "
+                     "got \"%s\"\n",
+                     item.c_str());
+        return 2;
+      }
+      ropts.trace_devices.push_back(static_cast<int>(*d));
+    }
+  }
 
   if (!config_path.empty() && !population_flag.empty()) {
     std::fprintf(stderr,
@@ -138,16 +180,39 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Trace exporters, shared by the full-run and --merge paths (shard
+    // partials carry their captures; the merge reassembles them).
+    auto write_traces = [&](const sim::FleetReport& r) {
+      if (!trace_out.empty()) {
+        std::ofstream tf(trace_out);
+        check(tf.good(), "cannot write " + trace_out);
+        obs::write_chrome_trace(tf, r.traces);
+        std::fprintf(stderr, "fleet_runner: %zu trace tracks -> %s\n", r.traces.size(),
+                     trace_out.c_str());
+      }
+      if (!trace_text_out.empty()) {
+        std::ofstream tf(trace_text_out);
+        check(tf.good(), "cannot write " + trace_text_out);
+        obs::write_text_trace(tf, r.traces);
+        std::fprintf(stderr, "fleet_runner: %zu trace tracks -> %s\n", r.traces.size(),
+                     trace_text_out.c_str());
+      }
+    };
+
     if (merge) {
       check(merge_inputs.size() >= 1, "--merge needs at least one partial file");
       check(config_path.empty() && population_flag.empty() && shards == 1 && shard < 0 &&
                 !compare_fixed && !ropts.compare_admission,
             "--merge takes only --out and the partial files (the population is "
             "echoed inside the partials)");
+      check(ropts.trace_devices.empty(),
+            "--merge: trace selection happens at shard time (--trace-devices on each "
+            "--shard run); --trace-out/--trace-text-out export the merged captures");
       const sim::FleetReport r = sim::merge_fleet_shards(merge_inputs);
       std::ofstream f(out_path);
       check(f.good(), "cannot write " + out_path);
       sim::write_fleet_json(f, r);
+      write_traces(r);
       std::fprintf(stderr, "fleet_runner: merged %zu shards, %d devices -> %s\n",
                    merge_inputs.size(), r.config.total_devices(), out_path.c_str());
       return 0;
@@ -167,6 +232,9 @@ int main(int argc, char** argv) {
       check(!compare_fixed && !ropts.compare_admission,
             "baseline reruns are whole-population; run them on the merged config "
             "without --shards");
+      check(trace_out.empty() && trace_text_out.empty(),
+            "--shard runs write partials (captures ride them); put --trace-out on "
+            "the --merge");
       std::ofstream f(out_path);
       check(f.good(), "cannot write " + out_path);
       sim::FleetEngine(cfg).run_shard(f, shard, shards, ropts);
@@ -195,6 +263,7 @@ int main(int argc, char** argv) {
     std::ofstream f(out_path);
     check(f.good(), "cannot write " + out_path);
     sim::write_fleet_json(f, r);
+    write_traces(r);
     std::fprintf(stderr,
                  "fleet_runner: %d devices, %d jobs -> %d completed (%.1f%%), %d in "
                  "deadline (%.1f%%); latency p50 %.4fs p90 %.4fs p99 %.4fs -> %s\n",
@@ -208,8 +277,8 @@ int main(int argc, char** argv) {
                    "fleet_runner: profile (host seconds, main run): total %.3f | "
                    "build %.3f | recharge %.3f (%ld recoveries) | kernel %.3f "
                    "(%ld slices) | checkpoint %.3f (%ld writes) | engine %.3f\n",
-                   total, prof.build_s, prof.recharge_s, prof.recoveries, prof.kernel_s,
-                   prof.slices, prof.checkpoint_s, prof.checkpoints, prof.engine_s);
+                   total, prof.build_s, prof.recharge_s, *prof.recoveries, prof.kernel_s,
+                   *prof.slices, prof.checkpoint_s, *prof.checkpoints, prof.engine_s);
     }
     if (r.jobs_skipped > 0) {
       std::fprintf(stderr,

@@ -1,12 +1,15 @@
 // Scenario-engine CLI: sweeps runtimes x models x power scenarios and
-// writes SCENARIOS.json (schema ehdnn-scenarios-v1; see BENCHMARKS.md
-// "Scenarios"). Run from the repo root so the default trace scenarios
-// resolve their traces/*.csv paths:
+// writes SCENARIOS.json (schema ehdnn-scenarios-v3; see BENCHMARKS.md
+// "Scenarios" and "Observability"). Run from the repo root so the default
+// trace scenarios resolve their traces/*.csv paths:
 //
 //   ./build/scenario_runner --out SCENARIOS.json
 //   ./build/scenario_runner --tasks mnist --runtimes ace,flex
 //       --scenario office-rf=trace:path=traces/rf_office.csv
 //   ./build/scenario_runner --jobs 4        # parallel sweep, same bytes
+//   ./build/scenario_runner --trace-cells 5,13 --trace-out sweep.trace.json
+//       # retain those cells' lifecycle event rings (canonical sweep
+//       # indices: task-major, then scenario, then runtime)
 //
 // With no --scenario arguments a built-in set is swept: continuous bench
 // power, the paper's constant-harvest regime, a square duty cycle, bursty
@@ -19,9 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "sim/scenario.h"
 #include "util/check.h"
 #include "util/cli.h"
+#include "util/parse.h"
 
 namespace {
 
@@ -101,9 +106,11 @@ int main(int argc, char** argv) {
   sim::SweepOptions opts;
   opts.verbose = true;
 
+  std::string trace_out, trace_text_out, trace_cells_arg;
+
   CliParser p("scenario_runner",
               "Sweeps runtimes x models x power scenarios and writes SCENARIOS.json\n"
-              "(ehdnn-scenarios-v1).");
+              "(ehdnn-scenarios-v3).");
   p.str("--out", "FILE", "output path", &out_path);
   p.value("--tasks", "mnist,har,okg", "comma-separated task list",
           [&](const std::string& v) {
@@ -126,8 +133,36 @@ int main(int argc, char** argv) {
   bool profile = false;
   p.toggle("--profile", "print a host wall-clock phase breakdown (serial sweeps)",
            &profile);
+  p.str("--trace-cells", "I[,I...]",
+        "cell indices whose lifecycle event rings are retained for export",
+        &trace_cells_arg);
+  p.str("--trace-out", "FILE",
+        "write the retained rings as Chrome trace_event JSON (Perfetto)", &trace_out);
+  p.str("--trace-text-out", "FILE",
+        "write the retained rings as the deterministic text dump", &trace_text_out);
+  p.value("--trace-capacity", "N", "events retained per traced cell",
+          [&](const std::string& v) {
+            const auto d = parse_double(v);
+            check(d.has_value() && *d >= 1,
+                  "--trace-capacity needs a positive integer, got \"" + v + "\"");
+            opts.trace_capacity = static_cast<long>(*d);
+          });
   add_listing_flags(p);
   if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
+
+  if (!trace_cells_arg.empty()) {
+    for (const auto& item : split_csv(trace_cells_arg)) {
+      const auto d = parse_double(item);
+      if (!d.has_value() || *d < 0 || *d != static_cast<double>(static_cast<int>(*d))) {
+        std::fprintf(stderr,
+                     "scenario_runner: --trace-cells needs comma-separated cell "
+                     "indices, got \"%s\"\n",
+                     item.c_str());
+        return 2;
+      }
+      opts.trace_cells.push_back(static_cast<int>(*d));
+    }
+  }
 
   if (smoke_sched) {
     // Scheduling smoke (ctest sched_smoke, run from the repo root): both
@@ -172,13 +207,27 @@ int main(int argc, char** argv) {
     sim::write_scenarios_json(f, m);
     std::fprintf(stderr, "scenario_runner: wrote %zu cells to %s\n", m.cells.size(),
                  out_path.c_str());
+    if (!trace_out.empty()) {
+      std::ofstream tf(trace_out);
+      check(tf.good(), "cannot write " + trace_out);
+      obs::write_chrome_trace(tf, m.traces);
+      std::fprintf(stderr, "scenario_runner: %zu trace tracks -> %s\n", m.traces.size(),
+                   trace_out.c_str());
+    }
+    if (!trace_text_out.empty()) {
+      std::ofstream tf(trace_text_out);
+      check(tf.good(), "cannot write " + trace_text_out);
+      obs::write_text_trace(tf, m.traces);
+      std::fprintf(stderr, "scenario_runner: %zu trace tracks -> %s\n", m.traces.size(),
+                   trace_text_out.c_str());
+    }
     if (profile) {
       std::fprintf(stderr,
                    "scenario_runner: profile (host seconds): recharge %.3f "
                    "(%ld recoveries) | kernel %.3f (%ld slices) | checkpoint %.3f "
                    "(%ld writes)\n",
-                   prof.recharge_s, prof.recoveries, prof.kernel_s, prof.slices,
-                   prof.checkpoint_s, prof.checkpoints);
+                   prof.recharge_s, *prof.recoveries, prof.kernel_s, *prof.slices,
+                   prof.checkpoint_s, *prof.checkpoints);
     }
 
     if (smoke) {
