@@ -198,6 +198,23 @@ struct AdaptivePolicy::Impl {
   double cycle_e0 = 0.0;
   double cycle_t0 = 0.0;
 
+  // Contract-checker decision sink (set_decision_log); null = off.
+  std::vector<TierDecision>* dlog = nullptr;
+  void log_decision(const flex::StepContext& ctx, int tier_i, bool demote) {
+    if (dlog == nullptr) return;
+    TierDecision d;
+    const dev::PowerSupply* sup = ctx.dev.supply();
+    d.t_s = sup != nullptr ? sup->now() : 0.0;
+    d.tier = tiers[static_cast<std::size_t>(tier_i)].key;
+    d.demote = demote;
+    d.fc_samples = fc->samples();
+    d.fc_period_s = fc->period_s();
+    d.forecast_w = sup != nullptr ? fc->forecast_at_w(sup->now()) : fc->forecast_w();
+    d.ovh_j = ovh_flex_n > 0 ? ovh_flex_ema : -1.0;
+    d.deadline_s = ctx.opts.deadline_s;
+    dlog->push_back(std::move(d));
+  }
+
   // Last observed forecaster lock state, so the obs stream records each
   // kForecastLock/kForecastDrop transition exactly once. Checked after
   // every sample site (gap sensor, success sensor).
@@ -437,6 +454,7 @@ void AdaptivePolicy::on_boot(flex::StepContext& ctx, bool fresh) {
     s.no_progress = 0;
     s.force_demote = false;
     s.cur = s.decide_fresh(spec_, ctx);
+    s.log_decision(ctx, s.cur, /*demote=*/false);
     obs::record(ctx.opts.trace, flex::obs_now_s(ctx.dev),
                 obs::EventKind::kTierSelect, s.cur);
     s.activate(ctx);
@@ -492,6 +510,7 @@ void AdaptivePolicy::on_boot(flex::StepContext& ctx, bool fresh) {
     // no forward progress for demote_boots cycles): one rung leaner.
     next = std::min(s.cur + 1, static_cast<int>(s.tiers.size()) - 1);
     s.force_demote = false;
+    s.log_decision(ctx, next, /*demote=*/true);
     obs::record(ctx.opts.trace, flex::obs_now_s(ctx.dev),
                 obs::EventKind::kTierDemote, next, s.cur);
   } else if (!cur.persistent) {
@@ -499,6 +518,7 @@ void AdaptivePolicy::on_boot(flex::StepContext& ctx, bool fresh) {
     // re-decide from the live forecast (this is where a mis-forecast
     // rich start degrades to FLEX).
     next = s.decide_fresh(spec_, ctx);
+    s.log_decision(ctx, next, /*demote=*/false);
   }
 
   if (next != s.cur) {
@@ -617,6 +637,10 @@ const CompletionModel* AdaptivePolicy::completion_model() const {
 
 double AdaptivePolicy::reclaimable_energy_j() const {
   return impl_->cmpl.has_value() ? impl_->cmpl->min_energy_j() : 0.0;
+}
+
+void AdaptivePolicy::set_decision_log(std::vector<TierDecision>* log) {
+  impl_->dlog = log;
 }
 
 std::unique_ptr<flex::RuntimePolicy> make_adaptive_policy(AdaptiveSpec spec) {

@@ -166,6 +166,24 @@ class CompletionModel {
   std::vector<Tier> tiers_;
 };
 
+// One tier decision, as witnessed by the contract checker's enumeration
+// hook (AdaptivePolicy::set_decision_log). Every fresh-boot selection, every
+// non-persistent-tier re-decision, and every demotion appends one entry,
+// together with the scheduler inputs the decision was a function of — which
+// is what lets CONTRACT-3 (stability: no tier flap without an income or
+// job-outcome change) be checked as "equal inputs imply equal decision"
+// over real runs rather than re-deriving the decision rule.
+struct TierDecision {
+  double t_s = 0.0;          // supply time at the decision
+  std::string tier;          // chosen tier key ("base".."tile")
+  bool demote = false;       // outcome-driven demotion, not a fresh pick
+  long fc_samples = 0;       // forecaster samples folded in so far
+  double fc_period_s = 0.0;  // confirmed period (0 = no lock)
+  double forecast_w = 0.0;   // forecast_at_w(t_s) — the income input
+  double ovh_j = -1.0;       // observed FLEX overhead EMA (-1 = prior)
+  double deadline_s = 0.0;   // absolute job deadline (identifies the job)
+};
+
 class AdaptivePolicy : public flex::RuntimePolicy {
  public:
   explicit AdaptivePolicy(AdaptiveSpec spec);
@@ -215,6 +233,11 @@ class AdaptivePolicy : public flex::RuntimePolicy {
   // Lower bound on the energy a skipped release would have burned (the
   // cheapest calibrated tier); 0 before calibration.
   double reclaimable_energy_j() const;
+
+  // --- enumeration hook (sched/contracts.h) ----------------------------
+  // Non-owning sink for per-boot tier decisions; null (the default)
+  // disables logging. The pointee must outlive the runs it witnesses.
+  void set_decision_log(std::vector<TierDecision>* log);
 
  private:
   // Success-path income sensing (called from step() on completion).

@@ -35,7 +35,7 @@ JobQueue::JobQueue(dev::Device& dev, flex::RuntimePolicy& policy,
   // only pay for the ones whose release instant has arrived.
 }
 
-bool JobQueue::should_skip(double* reclaimed_j) {
+bool JobQueue::should_skip(double* reclaimed_j, int* stage) {
   AdaptivePolicy* ap = as_adaptive(policy_);
   if (ap == nullptr || ap->spec().admit != Admission::kBudget) return false;
   if (!std::isfinite(agenda_.deadline_s)) return false;
@@ -52,6 +52,7 @@ bool JobQueue::should_skip(double* reclaimed_j) {
       release_s_ + agenda_.deadline_s + ap->spec().admit_slack_s - start_s_;
   if (budget_s < 0.9 * ap->predict_optimistic_s(*dev_, *primary_)) {
     *reclaimed_j = ap->reclaimable_energy_j();
+    *stage = 1;
     return true;
   }
   // Stage two — FORECAST skips: the predicted completion under the
@@ -70,6 +71,7 @@ bool JobQueue::should_skip(double* reclaimed_j) {
   }
   if (predicted <= budget_s) return false;
   *reclaimed_j = ap->reclaimable_energy_j();
+  *stage = 2;
   return true;
 }
 
@@ -89,7 +91,8 @@ void JobQueue::arm_next() {
                            ? release_s_ + agenda_.deadline_s
                            : std::numeric_limits<double>::infinity();
     double reclaimed_j = 0.0;
-    if (!should_skip(&reclaimed_j)) {
+    int stage = 0;
+    if (!should_skip(&reclaimed_j, &stage)) {
       consecutive_skips_ = 0;
       obs::record(opts_.trace, start_s_, obs::EventKind::kJobAdmit, j);
       ex_.start(*dev_, *primary_, (*inputs_)[static_cast<std::size_t>(j)], opts_);
@@ -105,6 +108,7 @@ void JobQueue::arm_next() {
     r.finish_s = start_s_;
     r.skipped_infeasible = true;
     r.energy_reclaimed_j = reclaimed_j;
+    r.skip_stage = stage;
     r.runtime = agenda_.runtime;
     records_.push_back(std::move(r));
     if (static_cast<int>(records_.size()) >= agenda_.jobs) {

@@ -60,6 +60,13 @@ struct JobRecord {
   // Lower bound on the energy the skipped run would have burned (the
   // cheapest calibrated tier's per-inference energy); 0 for run jobs.
   double energy_reclaimed_j = 0.0;
+  // Which admission stage refused a skipped release: 0 for admitted jobs,
+  // 1 for a CERTAIN skip (the time budget is below the fastest tier's
+  // continuous-power time — pure cost model), 2 for a FORECAST skip (the
+  // predicted completion under the income curve misses the budget; this
+  // is the stage the probe valve bounds). The contract checker
+  // (sched/contracts.h) keys its soundness exception class on this.
+  int skip_stage = 0;
   std::string runtime;        // completing tier (adaptive) or the fixed key
   long reboots = 0;
   long checkpoints = 0;
@@ -104,7 +111,8 @@ class JobQueue {
   // Energy-budgeted admission (adaptive policies with admit=budget): true
   // when the just-released job should be skipped because the best tier's
   // predicted completion misses the deadline by more than the slack.
-  bool should_skip(double* reclaimed_j);
+  // `stage` reports which stage refused (JobRecord::skip_stage values).
+  bool should_skip(double* reclaimed_j, int* stage);
 
   dev::Device* dev_;
   flex::RuntimePolicy* policy_;

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "sim/fleet.h"
+#include "sim/fleet_flags.h"
 #include "sim/scenario.h"
 
 namespace ehdnn::sim {
@@ -354,6 +355,131 @@ TEST(Sweep, RuntimeTableIsConsistent) {
   EXPECT_THROW(make_runtime("nope"), Error);
   EXPECT_THROW(make_policy("nope"), Error);
   EXPECT_THROW(runtime_uses_compressed_model("nope"), Error);
+}
+
+TEST(FleetFlags, ConflictMatrix) {
+  // fleet_runner's three modes (run / --shard / --merge) share one
+  // validated flag set; each row is a command-line shape and the
+  // substring its diagnostic must contain ("" = accepted). Substring
+  // matching keeps the table readable while still pinning which rule
+  // fired — a row failing with the WRONG message is a real regression.
+  struct Row {
+    const char* name;
+    FleetFlagSet f;
+    const char* want;  // "" = valid, else a substring of the diagnostic
+  };
+  auto make = [](auto mutate) {
+    FleetFlagSet f;
+    mutate(f);
+    return f;
+  };
+  const Row rows[] = {
+      {"defaults", make([](FleetFlagSet&) {}), ""},
+      {"plain merge",
+       make([](FleetFlagSet& f) { f.merge = true; f.merge_inputs = 2; }), ""},
+      {"merge without partials", make([](FleetFlagSet& f) { f.merge = true; }),
+       "at least one partial"},
+      {"merge with --shard", make([](FleetFlagSet& f) {
+         f.merge = true;
+         f.merge_inputs = 1;
+         f.shard = 0;
+       }),
+       "--merge conflicts with --shard"},
+      {"merge with --shards only", make([](FleetFlagSet& f) {
+         f.merge = true;
+         f.merge_inputs = 1;
+         f.shards = 4;
+       }),
+       "--merge conflicts with --shard"},
+      {"merge with --config", make([](FleetFlagSet& f) {
+         f.merge = true;
+         f.merge_inputs = 1;
+         f.have_config = true;
+       }),
+       "--merge conflicts with --config"},
+      {"merge with population flag", make([](FleetFlagSet& f) {
+         f.merge = true;
+         f.merge_inputs = 1;
+         f.population_flag = "--devices";
+       }),
+       "--merge conflicts with --devices"},
+      {"merge with baseline rerun", make([](FleetFlagSet& f) {
+         f.merge = true;
+         f.merge_inputs = 1;
+         f.compare_fixed = true;
+       }),
+       "baseline reruns"},
+      {"merge with trace selection", make([](FleetFlagSet& f) {
+         f.merge = true;
+         f.merge_inputs = 1;
+         f.have_trace_devices = true;
+       }),
+       "trace selection happens at shard time"},
+      {"merge exporting merged captures", make([](FleetFlagSet& f) {
+         f.merge = true;
+         f.merge_inputs = 2;
+         f.have_trace_out = true;  // selection rode in on the partials
+       }),
+       ""},
+      {"bare args without merge", make([](FleetFlagSet& f) { f.merge_inputs = 1; }),
+       "only valid with --merge"},
+      {"config plus population flag", make([](FleetFlagSet& f) {
+         f.have_config = true;
+         f.population_flag = "--seed";
+       }),
+       "--seed conflicts with --config"},
+      {"shard run", make([](FleetFlagSet& f) {
+         f.shards = 2;
+         f.shard = 1;
+       }),
+       ""},
+      {"--shards without --shard", make([](FleetFlagSet& f) { f.shards = 2; }),
+       "--shards needs --shard"},
+      {"shard index out of range", make([](FleetFlagSet& f) {
+         f.shards = 2;
+         f.shard = 2;
+       }),
+       "--shard must be < --shards (got --shard 2 with --shards 2)"},
+      {"shard with baseline rerun", make([](FleetFlagSet& f) {
+         f.shards = 2;
+         f.shard = 0;
+         f.compare_admission = true;
+       }),
+       "whole-population"},
+      {"shard with trace export", make([](FleetFlagSet& f) {
+         f.shards = 2;
+         f.shard = 0;
+         f.have_trace_out = true;
+       }),
+       "put --trace-out on"},
+      {"trace export with selection", make([](FleetFlagSet& f) {
+         f.have_trace_devices = true;
+         f.have_trace_out = true;
+         f.have_trace_text_out = true;
+       }),
+       ""},
+      {"trace-out without selection",
+       make([](FleetFlagSet& f) { f.have_trace_out = true; }),
+       "--trace-out needs --trace-devices"},
+      {"trace-text-out without selection",
+       make([](FleetFlagSet& f) { f.have_trace_text_out = true; }),
+       "--trace-text-out needs --trace-devices"},
+      {"profile parallel", make([](FleetFlagSet& f) {
+         f.profile = true;
+         f.jobs = 4;
+       }),
+       "--profile needs --jobs 1"},
+      {"profile serial", make([](FleetFlagSet& f) { f.profile = true; }), ""},
+  };
+  for (const Row& r : rows) {
+    const std::string got = validate_fleet_flags(r.f);
+    if (std::string(r.want).empty()) {
+      EXPECT_EQ(got, "") << r.name;
+    } else {
+      EXPECT_NE(got.find(r.want), std::string::npos)
+          << r.name << ": got \"" << got << "\"";
+    }
+  }
 }
 
 }  // namespace

@@ -217,6 +217,92 @@ TEST(Exporters, TextTraceIsDeterministicAndVersioned) {
   EXPECT_NE(a.str().find("0.004000000 brown_out a=0 b=0"), std::string::npos);
 }
 
+TEST(Exporters, EmptyCaptureListStillWritesValidDocuments) {
+  // A run with no traced devices can still hit the export path (e.g. a
+  // --merge whose partials carried no captures); both formats must emit a
+  // well-formed, loadable document rather than nothing.
+  std::ostringstream cj, tx;
+  write_chrome_trace(cj, {});
+  write_text_trace(tx, {});
+  EXPECT_EQ(cj.str(), "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+  EXPECT_EQ(tx.str(), "# ehdnn-trace-text-v1\n");
+}
+
+TEST(Exporters, ZeroEventDeviceGetsAHeaderAndNoRows) {
+  // A traced device that never booted (starved before v_on): the capture
+  // exists with an empty ring. The track metadata must still come out so
+  // the device is visibly "there with zero events", not silently absent.
+  TraceCapture tc;
+  tc.id = 9;
+  tc.label = "device 9 (starved)";
+  std::ostringstream cj, tx;
+  write_chrome_trace(cj, {tc});
+  write_text_trace(tx, {tc});
+  EXPECT_NE(cj.str().find("\"device 9 (starved)\""), std::string::npos);
+  EXPECT_EQ(cj.str().find("\"ph\":\"i\""), std::string::npos);  // no instants
+  EXPECT_EQ(cj.str().find("\"ph\":\"X\""), std::string::npos);  // no spans
+  EXPECT_EQ(tx.str(),
+            "# ehdnn-trace-text-v1\n"
+            "trace 9 label=\"device 9 (starved)\" total=0 retained=0 dropped=0\n");
+}
+
+TEST(Exporters, TruncatedRingDegradesOrphanedPairsToInstants) {
+  // A wrapped ring whose window starts mid-span: the checkpoint BEGIN and
+  // the job RELEASE fell off, only the END / COMPLETE survive. The
+  // exporter must keep the instants and synthesize NO duration events —
+  // a span with a guessed start would be a lie in the profile view.
+  EventTrace t(3);
+  t.record(0.001, EK::kCheckpointBegin, 0);
+  t.record(0.002, EK::kJobRelease, 0);
+  t.record(0.003, EK::kCheckpointEnd, 1);  // ring full; next records drop oldest
+  t.record(0.004, EK::kJobComplete, 0, 1);
+  t.record(0.005, EK::kCheckpointBegin, 1);  // still open at capture end
+  TraceCapture tc;
+  tc.id = 0;
+  tc.label = "truncated";
+  tc.events = t.snapshot();
+  tc.dropped = t.dropped();
+  tc.total = t.total();
+  ASSERT_EQ(tc.events.size(), 3u);
+  ASSERT_EQ(tc.dropped, 2);
+
+  std::ostringstream cj, tx;
+  write_chrome_trace(cj, {tc});
+  write_text_trace(tx, {tc});
+  const std::string j = cj.str();
+  // The surviving landmarks are all present as instants...
+  EXPECT_NE(j.find("\"name\":\"checkpoint_end\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"job_complete\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"checkpoint_begin\""), std::string::npos);
+  // ...but no duration event was synthesized from an orphaned half-pair.
+  EXPECT_EQ(j.find("\"ph\":\"X\""), std::string::npos);
+  // The text dump's header makes the truncation visible.
+  EXPECT_NE(tx.str().find("total=5 retained=3 dropped=2"), std::string::npos);
+}
+
+TEST(Exporters, LabelsAreJsonEscaped) {
+  TraceCapture tc;
+  tc.id = 1;
+  tc.label = "odd \"label\" with \\ and \x01 control";
+  std::ostringstream cj;
+  write_chrome_trace(cj, {tc});
+  // Quotes and backslashes escaped, control bytes replaced — the output
+  // must stay parseable JSON whatever a config file names a group.
+  EXPECT_NE(cj.str().find("odd \\\"label\\\" with \\\\ and   control"),
+            std::string::npos);
+}
+
+TEST(Exporters, EmptyMetricsRegistrySerializesEmptyBlocks) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  write_metrics_json(os, reg, "  ");
+  EXPECT_EQ(os.str(),
+            "  \"metrics\": {\n"
+            "    \"counters\": {},\n"
+            "    \"gauges\": {}\n"
+            "  }");
+}
+
 // ----------------------------------------------- fleet + sweep integration
 
 sim::FleetConfig obs_fleet() {

@@ -133,6 +133,65 @@ TEST(QuantileSketch, RoundTripsThroughText) {
   EXPECT_THROW(QuantileSketch::deserialize("qsketch-v1 rel_err=0.01 2 0 0 1 5:1"), Error);
 }
 
+TEST(QuantileSketch, RepeatedValueStreamCollapsesToOneBin) {
+  // A fleet where every job takes identical time (the lockstep-device
+  // degenerate case): the whole stream lands in one log bin, and every
+  // quantile must come back within rel_err of the one true value — with
+  // q=0/q=1 exact via the tracked min/max.
+  QuantileSketch s(0.01);
+  for (int i = 0; i < 10000; ++i) s.add(0.007);
+  EXPECT_EQ(s.count(), 10000u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.007);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.007);
+  for (double q : {0.001, 0.25, 0.5, 0.99}) {
+    EXPECT_LE(std::abs(s.quantile(q) - 0.007) / 0.007, 0.01) << "q=" << q;
+  }
+  // Exactly one "i:c" bin in the text form.
+  const std::string line = s.serialize();
+  EXPECT_EQ(std::count(line.begin(), line.end(), ':'), 1);
+}
+
+TEST(QuantileSketch, DenormalRangeValuesFoldIntoTheZeroBucket) {
+  // Sub-threshold values (including true denormals) count as zero rather
+  // than producing astronomically negative bin indices; min() still
+  // reports the exact smallest value seen.
+  QuantileSketch s;
+  s.add(5e-324);  // smallest positive denormal
+  s.add(1e-300);
+  s.add(1e-13);
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 5e-324);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+  // Ranks 1..3 are the zero bucket (reported as min after clamping).
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5e-324);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 2.0);
+  // And the whole thing still round-trips through the text form.
+  const QuantileSketch back = QuantileSketch::deserialize(s.serialize());
+  EXPECT_EQ(back.serialize(), s.serialize());
+}
+
+TEST(QuantileSketch, MergeWithEmptyIsIdentityBothWays) {
+  QuantileSketch full;
+  for (int i = 1; i <= 100; ++i) full.add(0.01 * i);
+  const std::string expect = full.serialize();
+
+  QuantileSketch a = full;  // nonempty.merge(empty)
+  a.merge(QuantileSketch{});
+  EXPECT_EQ(a.serialize(), expect);
+
+  QuantileSketch b;  // empty.merge(nonempty)
+  b.merge(full);
+  EXPECT_EQ(b.serialize(), expect);
+  EXPECT_DOUBLE_EQ(b.min(), 0.01);
+  EXPECT_DOUBLE_EQ(b.max(), 1.0);
+
+  QuantileSketch c;  // empty.merge(empty) stays empty
+  c.merge(QuantileSketch{});
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_THROW(c.quantile(0.5), Error);
+}
+
 TEST(QuantileSketch, MergeRejectsMismatchedRelErr) {
   QuantileSketch a(0.01), b(0.02);
   a.add(1.0);

@@ -12,7 +12,7 @@
 // Lifecycle event traces (Chrome trace_event JSON for Perfetto /
 // chrome://tracing, or the deterministic text dump the goldens pin):
 //
-//   ./build/fleet_runner --config configs/fleet_microcap.cfg \
+//   ./build/fleet_runner --config configs/fleet_microcap.cfg
 //       --trace-devices 0,8,12 --trace-out microcap.trace.json
 //
 // Populations too big for one process split into shard partials that
@@ -32,6 +32,7 @@
 #include "models/zoo.h"
 #include "obs/export.h"
 #include "sim/fleet.h"
+#include "sim/fleet_flags.h"
 #include "sim/scenario.h"
 #include "util/check.h"
 #include "util/cli.h"
@@ -167,16 +168,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!config_path.empty() && !population_flag.empty()) {
-    std::fprintf(stderr,
-                 "fleet_runner: %s conflicts with --config (the population comes from the "
-                 "config file; edit it instead)\n",
-                 population_flag.c_str());
-    return 2;
-  }
-  if (!merge && !merge_inputs.empty()) {
-    std::fprintf(stderr, "fleet_runner: bare arguments are only valid with --merge\n");
-    return 2;
+  // One table-tested conflict matrix (sim/fleet_flags.h) instead of
+  // checks scattered across the three mode branches below.
+  {
+    sim::FleetFlagSet fs;
+    fs.merge = merge;
+    fs.merge_inputs = static_cast<int>(merge_inputs.size());
+    fs.have_config = !config_path.empty();
+    fs.population_flag = population_flag;
+    fs.shards = shards;
+    fs.shard = shard;
+    fs.compare_fixed = compare_fixed;
+    fs.compare_admission = ropts.compare_admission;
+    fs.profile = profile;
+    fs.jobs = ropts.jobs;
+    fs.have_trace_out = !trace_out.empty();
+    fs.have_trace_text_out = !trace_text_out.empty();
+    fs.have_trace_devices = !trace_devices_arg.empty();
+    if (const std::string err = sim::validate_fleet_flags(fs); !err.empty()) {
+      std::fprintf(stderr, "fleet_runner: %s\n", err.c_str());
+      return 2;
+    }
   }
 
   try {
@@ -200,14 +212,6 @@ int main(int argc, char** argv) {
     };
 
     if (merge) {
-      check(merge_inputs.size() >= 1, "--merge needs at least one partial file");
-      check(config_path.empty() && population_flag.empty() && shards == 1 && shard < 0 &&
-                !compare_fixed && !ropts.compare_admission,
-            "--merge takes only --out and the partial files (the population is "
-            "echoed inside the partials)");
-      check(ropts.trace_devices.empty(),
-            "--merge: trace selection happens at shard time (--trace-devices on each "
-            "--shard run); --trace-out/--trace-text-out export the merged captures");
       const sim::FleetReport r = sim::merge_fleet_shards(merge_inputs);
       std::ofstream f(out_path);
       check(f.good(), "cannot write " + out_path);
@@ -227,14 +231,6 @@ int main(int argc, char** argv) {
     }
 
     if (shard >= 0 || shards > 1) {
-      check(shard >= 0, "--shards needs --shard I (which shard is this process?)");
-      check(shard < shards, "--shard must be < --shards");
-      check(!compare_fixed && !ropts.compare_admission,
-            "baseline reruns are whole-population; run them on the merged config "
-            "without --shards");
-      check(trace_out.empty() && trace_text_out.empty(),
-            "--shard runs write partials (captures ride them); put --trace-out on "
-            "the --merge");
       std::ofstream f(out_path);
       check(f.good(), "cannot write " + out_path);
       sim::FleetEngine(cfg).run_shard(f, shard, shards, ropts);
@@ -244,11 +240,7 @@ int main(int argc, char** argv) {
     }
 
     flex::PhaseProfile prof;
-    if (profile) {
-      check(ropts.jobs == 1,
-            "--profile needs --jobs 1 (one shared, unsynchronized sink)");
-      ropts.profile = &prof;
-    }
+    if (profile) ropts.profile = &prof;
 
     if (compare_fixed) {
       // Every fixed key from the runtime table (the adaptive key is the
